@@ -1,0 +1,35 @@
+"""Shared fixtures for the table/figure reproduction benchmarks.
+
+Every module regenerates one table or figure of the paper and prints a
+paper-vs-measured comparison (run with ``pytest benchmarks/
+--benchmark-only -s`` to see the tables).  By default the expensive sweeps
+use the quick evaluation settings (three-benchmark suite, light tile
+sampling); set ``REPRO_FULL_EVAL=1`` for the full six-network Table IV
+suite.
+"""
+
+import os
+
+import pytest
+
+from repro.dse.evaluate import EvalSettings
+from repro.sim.engine import SimulationOptions
+
+
+def full_eval_requested() -> bool:
+    return os.environ.get("REPRO_FULL_EVAL", "0") == "1"
+
+
+@pytest.fixture(scope="session")
+def settings() -> EvalSettings:
+    if full_eval_requested():
+        return EvalSettings(
+            quick=False,
+            options=SimulationOptions(passes_per_gemm=6, max_t_steps=128),
+        )
+    return EvalSettings(quick=True)
+
+
+def show(text: str) -> None:
+    """Print a reproduction table (visible with -s)."""
+    print("\n" + text)

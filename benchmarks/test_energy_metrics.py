@@ -1,0 +1,85 @@
+"""Extension: per-inference energy and EDP across the headline designs.
+
+Not a paper table -- the paper stops at effective TOPS/W -- but the
+adjacent deployment question every Table IV benchmark user asks.  Uses the
+clock-gated per-category power, so dense models on sparse cores are
+charged their idle-machinery power only at the calibrated gating factor.
+"""
+
+import pytest
+
+from repro.config import (
+    GRIFFIN,
+    ModelCategory,
+    SPARSE_AB_STAR,
+    SPARSE_B_STAR,
+    dense,
+)
+from repro.dse.report import format_table
+from repro.hw.cost import cost_of, griffin_category_power_mw, griffin_cost
+from repro.hw.energy import EnergyReport, inference_energy
+from repro.sim.engine import SimulationOptions, simulate_network
+from repro.workloads.registry import benchmark as get_benchmark
+from conftest import show
+
+OPTIONS = SimulationOptions(passes_per_gemm=3, max_t_steps=64)
+
+
+def test_energy_per_inference(benchmark):
+    net = get_benchmark("ResNet50").network
+
+    def run():
+        rows = {}
+        for config in (dense(), SPARSE_B_STAR, SPARSE_AB_STAR):
+            result = simulate_network(net, config, ModelCategory.AB, OPTIONS)
+            rows[config.label] = inference_energy(result, config)
+        morph = GRIFFIN.config_for(ModelCategory.AB)
+        result = simulate_network(net, morph, ModelCategory.AB, OPTIONS)
+        g_cost = griffin_cost(GRIFFIN)
+        rows["Griffin"] = EnergyReport(
+            label="Griffin",
+            network=net.name,
+            cycles=result.cycles,
+            power_mw=griffin_category_power_mw(GRIFFIN, g_cost, ModelCategory.AB),
+        )
+        return rows
+
+    reports = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = [
+        {
+            "Design": name,
+            "Latency (ms)": r.latency_ms,
+            "Energy (mJ)": r.energy_mj,
+            "EDP (mJ*ms)": r.edp,
+        }
+        for name, r in reports.items()
+    ]
+    show(format_table(table, title="Energy per pruned-ReLU ResNet-50 inference"))
+
+    base = reports["Baseline"]
+    for name in ("Sparse.B*", "Sparse.AB*", "Griffin"):
+        # Every sparse design must win on energy AND on EDP for DNN.AB.
+        assert reports[name].energy_mj < base.energy_mj, name
+        assert reports[name].edp < base.edp, name
+    # The dual-capable designs beat the weight-only design on EDP (they
+    # also skip the activation zeros).
+    assert reports["Griffin"].edp < reports["Sparse.B*"].edp
+    assert reports["Sparse.AB*"].edp < reports["Sparse.B*"].edp
+
+
+def test_dense_model_energy_tax(benchmark):
+    net = get_benchmark("BERT").network
+
+    def run():
+        base_run = simulate_network(net, dense(), ModelCategory.DENSE, OPTIONS)
+        base = inference_energy(base_run, dense())
+        sparse_run = simulate_network(net, SPARSE_B_STAR, ModelCategory.DENSE, OPTIONS)
+        sparse = inference_energy(sparse_run, SPARSE_B_STAR)
+        return base, sparse
+
+    base, sparse = benchmark.pedantic(run, rounds=1, iterations=1)
+    tax = sparse.energy_mj / base.energy_mj - 1.0
+    show(f"Dense BERT energy tax of Sparse.B* hardware: {tax:.0%} "
+         "(paper: ~16% power overhead on dense models)")
+    assert 0.05 < tax < 0.30
+    assert sparse.latency_ms == pytest.approx(base.latency_ms, rel=0.01)

@@ -1,0 +1,102 @@
+"""Figure 5: the weight-only (Sparse.B) design space.
+
+Panel (a): normalized speedup bars for the routing configurations; panels
+(b)/(c): effective power/area efficiency on DNN.B vs DNN.dense.  The paper's
+numbered observations are asserted as shape checks.
+"""
+
+import pytest
+
+from repro.baselines import tcl_b_cost
+from repro.baselines.bittactical import TCL_B, TCL_CALIBRATION
+from repro.config import ModelCategory, SPARSE_B_STAR, parse_notation
+from repro.dse.evaluate import category_speedup, evaluate_arch
+from repro.dse.report import format_table
+from conftest import show
+
+#: The configurations Fig. 5(a) plots (paper speedups noted for reference).
+FIG5_POINTS = [
+    "B(2,0,0,off)", "B(2,0,0,on)",
+    "B(2,1,0,off)", "B(2,1,0,on)",
+    "B(2,2,0,on)", "B(2,0,2,on)", "B(2,1,1,on)",
+    "B(4,0,0,off)", "B(4,0,0,on)",
+    "B(4,0,1,off)", "B(4,0,1,on)",
+    "B(4,0,2,off)", "B(4,0,2,on)",
+    "B(6,0,0,off)", "B(6,0,0,on)",
+]
+
+
+@pytest.fixture(scope="module")
+def speedups(settings):
+    return {
+        notation: category_speedup(parse_notation(notation), ModelCategory.B, settings)
+        for notation in FIG5_POINTS
+    }
+
+
+def test_fig5a_speedup_bars(benchmark, settings, speedups):
+    benchmark.pedantic(
+        lambda: category_speedup(SPARSE_B_STAR, ModelCategory.B, settings),
+        rounds=1, iterations=1,
+    )
+    rows = [{"Config": k, "DNN.B speedup": v} for k, v in speedups.items()]
+    show(format_table(rows, title="Fig. 5(a) -- Sparse.B normalized speedup"))
+
+    s = speedups
+    # Obs (1): larger db1 -> higher speedup.
+    assert s["B(6,0,0,off)"] >= s["B(4,0,0,off)"] >= s["B(2,0,0,off)"]
+    # Obs (2): db3 > 0 boosts performance substantially without shuffle.
+    assert s["B(4,0,1,off)"] > 1.05 * s["B(4,0,0,off)"]
+    assert s["B(4,0,2,off)"] >= s["B(4,0,1,off)"]
+    # Obs (3): shuffling is effective, most for db1 > 2.
+    assert s["B(6,0,0,on)"] > 1.15 * s["B(6,0,0,off)"]
+    assert s["B(4,0,0,on)"] > 1.10 * s["B(4,0,0,off)"]
+    # Obs (4): with shuffling on, db2's impact is diminished.
+    gain_db2_off = s["B(2,1,0,off)"] - s["B(2,0,0,off)"]
+    gain_db2_on = s["B(2,1,0,on)"] - s["B(2,0,0,on)"]
+    assert gain_db2_on < gain_db2_off + 0.05
+    # Obs (5): balancing db2 and db3 beats doubling either.
+    assert s["B(2,1,1,on)"] >= 0.97 * max(s["B(2,2,0,on)"], s["B(2,0,2,on)"])
+
+
+def test_fig5bc_efficiency_scatter(benchmark, settings):
+    cats = (ModelCategory.B, ModelCategory.DENSE)
+    points = ["B(4,0,0,on)", "B(4,0,1,on)", "B(4,0,2,on)", "B(2,1,1,on)"]
+
+    def run():
+        return {n: evaluate_arch(parse_notation(n), cats, settings) for n in points}
+
+    evals = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        {
+            "Config": name,
+            "TOPS/W (B)": e.point(ModelCategory.B).tops_per_watt,
+            "TOPS/W (dense)": e.point(ModelCategory.DENSE).tops_per_watt,
+            "TOPS/mm2 (B)": e.point(ModelCategory.B).tops_per_mm2,
+            "TOPS/mm2 (dense)": e.point(ModelCategory.DENSE).tops_per_mm2,
+        }
+        for name, e in evals.items()
+    ]
+    show(format_table(rows, title="Fig. 5(b)/(c) -- Sparse.B efficiency"))
+    # The three Pareto designs the paper names improve power efficiency on
+    # DNN.B over the dense baseline (which sits at ~10.85 TOPS/W).
+    baseline_eff = 10.85
+    for name in ("B(4,0,1,on)", "B(4,0,2,on)"):
+        assert evals[name].point(ModelCategory.B).tops_per_watt > baseline_eff
+
+
+def test_fig5_bstar_beats_tcl(benchmark, settings):
+    def run():
+        star = evaluate_arch(SPARSE_B_STAR, (ModelCategory.B,), settings)
+        tcl = evaluate_arch(
+            TCL_B, (ModelCategory.B,), settings,
+            calibration=TCL_CALIBRATION,
+            power_mw=tcl_b_cost().total_power_mw,
+            area_um2=tcl_b_cost().total_area_um2,
+        )
+        return star, tcl
+
+    star, tcl = benchmark.pedantic(run, rounds=1, iterations=1)
+    ratio = star.point(ModelCategory.B).tops_per_watt / tcl.point(ModelCategory.B).tops_per_watt
+    show(f"Sparse.B* vs TCL.B power-efficiency ratio: {ratio:.2f} (paper: up to 1.47)")
+    assert ratio > 1.1

@@ -1,0 +1,96 @@
+"""Figure 6: the activation-only (Sparse.A) design space."""
+
+import pytest
+
+from repro.baselines.sparten import SPARTEN_A, sparten_cost
+from repro.config import ModelCategory, SPARSE_A_STAR, parse_notation
+from repro.dse.evaluate import category_speedup, evaluate_arch
+from repro.dse.report import format_table
+from conftest import show
+
+FIG6_POINTS = [
+    "A(1,0,0,off)", "A(1,0,0,on)",
+    "A(2,0,0,on)", "A(2,1,0,off)", "A(2,1,0,on)",
+    "A(2,1,1,on)", "A(2,1,2,on)",
+    "A(3,1,0,on)",
+    "A(4,0,1,off)", "A(4,0,1,on)",
+]
+
+
+@pytest.fixture(scope="module")
+def speedups(settings):
+    return {
+        notation: category_speedup(parse_notation(notation), ModelCategory.A, settings)
+        for notation in FIG6_POINTS
+    }
+
+
+def test_fig6a_speedup_bars(benchmark, settings, speedups):
+    benchmark.pedantic(
+        lambda: category_speedup(SPARSE_A_STAR, ModelCategory.A, settings),
+        rounds=1, iterations=1,
+    )
+    rows = [{"Config": k, "DNN.A speedup": v} for k, v in speedups.items()]
+    show(format_table(rows, title="Fig. 6(a) -- Sparse.A normalized speedup"))
+
+    s = speedups
+    # Obs (1): da1 saturates (~50% ReLU sparsity caps the ideal at ~2x):
+    # A(3,1,0,on) barely improves on A(2,1,0,on) (paper: 1.89 vs 1.83).
+    assert s["A(3,1,0,on)"] <= s["A(2,1,0,on)"] * 1.12
+    # Obs (2): da3 > 0 gives only a small speedup bump.
+    assert s["A(2,1,0,on)"] <= s["A(2,1,1,on)"] <= s["A(2,1,0,on)"] * 1.25
+    assert s["A(2,1,2,on)"] >= s["A(2,1,1,on)"] * 0.97
+    # Obs (3): shuffling boosts performance markedly at da1 = 4.
+    assert s["A(4,0,1,on)"] > 1.1 * s["A(4,0,1,off)"]
+    # The star lands in the paper's ballpark (1.83x).
+    assert 1.3 < s["A(2,1,0,on)"] < 2.2
+
+
+def test_fig6bc_efficiency_scatter(benchmark, settings):
+    cats = (ModelCategory.A, ModelCategory.DENSE)
+    points = ["A(2,1,0,on)", "A(2,1,1,on)", "A(2,1,2,on)", "A(4,0,1,on)"]
+
+    def run():
+        return {n: evaluate_arch(parse_notation(n), cats, settings) for n in points}
+
+    evals = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        {
+            "Config": name,
+            "Speedup (A)": e.speedup(ModelCategory.A),
+            "TOPS/W (A)": e.point(ModelCategory.A).tops_per_watt,
+            "TOPS/W (dense)": e.point(ModelCategory.DENSE).tops_per_watt,
+        }
+        for name, e in evals.items()
+    ]
+    show(format_table(rows, title="Fig. 6(b)/(c) -- Sparse.A efficiency"))
+    # Obs (2) continued: da3 costs power for insignificant speedup, so
+    # A(2,1,0,on) is at least as power-efficient as A(2,1,2,on).
+    assert (
+        evals["A(2,1,0,on)"].point(ModelCategory.A).tops_per_watt
+        >= 0.97 * evals["A(2,1,2,on)"].point(ModelCategory.A).tops_per_watt
+    )
+
+
+def test_fig6_sparten_a_comparison(benchmark, settings):
+    def run():
+        star = evaluate_arch(SPARSE_A_STAR, (ModelCategory.A,), settings)
+        sparten = evaluate_arch(
+            SPARTEN_A, (ModelCategory.A,), settings,
+            power_mw=sparten_cost("A").total_power_mw,
+            area_um2=sparten_cost("A").total_area_um2,
+        )
+        return star, sparten
+
+    star, sparten = benchmark.pedantic(run, rounds=1, iterations=1)
+    show(
+        f"Sparse.A* {star.speedup(ModelCategory.A):.2f}x @ "
+        f"{star.point(ModelCategory.A).tops_per_watt:.1f} TOPS/W vs SparTen.A "
+        f"{sparten.speedup(ModelCategory.A):.2f}x @ "
+        f"{sparten.point(ModelCategory.A).tops_per_watt:.1f} TOPS/W"
+    )
+    # SparTen.A buys its ~2x speedup with far worse efficiency (Sec. VI-B).
+    assert (
+        star.point(ModelCategory.A).tops_per_watt
+        > sparten.point(ModelCategory.A).tops_per_watt
+    )

@@ -1,0 +1,70 @@
+"""Per-benchmark speedups behind the Figs. 5-8 geometric means.
+
+The paper reports suite geomeans; this bench prints the per-network
+speedups of the starred designs so the workload-level structure is
+visible: BERT's uniform pruning rewards deep windows, MobileNet's
+depthwise layers defeat every sparse mechanism (their K=9, T=1 blocks
+leave nothing to borrow across), and the CNNs sit in between.
+"""
+
+import pytest
+
+from repro.config import GRIFFIN, ModelCategory, SPARSE_AB_STAR, SPARSE_B_STAR
+from repro.dse.report import format_table
+from repro.sim.engine import SimulationOptions, simulate_network
+from repro.workloads.registry import BENCHMARKS
+from conftest import full_eval_requested, show
+
+OPTIONS = SimulationOptions(passes_per_gemm=3, max_t_steps=64)
+
+
+@pytest.fixture(scope="module")
+def per_network():
+    rows = []
+    for info in BENCHMARKS:
+        net = info.network
+        row = {"Network": info.name}
+        row["B* (DNN.B)"] = simulate_network(
+            net, SPARSE_B_STAR, ModelCategory.B, OPTIONS
+        ).speedup
+        row["conf.B (DNN.B)"] = simulate_network(
+            net, GRIFFIN.conf_b, ModelCategory.B, OPTIONS
+        ).speedup
+        if info.act_sparsity > 0:
+            row["AB* (DNN.AB)"] = simulate_network(
+                net, SPARSE_AB_STAR, ModelCategory.AB, OPTIONS
+            ).speedup
+        else:
+            row["AB* (DNN.AB)"] = float("nan")
+        rows.append(row)
+    return rows
+
+
+def test_per_network_speedups(benchmark, per_network):
+    benchmark(lambda: None)
+    show(format_table(per_network, title="Per-benchmark speedups (starred designs)"))
+
+    by_name = {r["Network"]: r for r in per_network}
+    # MobileNet's depthwise blocks bound its speedup near 1.
+    assert by_name["MobileNetV2"]["B* (DNN.B)"] < 1.4
+    # BERT's uniformly pruned projections reward the deep conf.B window.
+    assert by_name["BERT"]["conf.B (DNN.B)"] > by_name["BERT"]["B* (DNN.B)"]
+    # Every non-depthwise benchmark speeds up substantially.
+    for name in ("AlexNet", "GoogleNet", "ResNet50", "InceptionV3", "BERT"):
+        assert by_name[name]["B* (DNN.B)"] > 1.5, name
+
+
+def test_dual_beats_single_per_network(benchmark, per_network):
+    benchmark(lambda: None)
+    for row in per_network:
+        ab = row["AB* (DNN.AB)"]
+        if ab != ab:  # NaN: benchmark has no activation sparsity
+            continue
+        if row["Network"] == "MobileNetV2":
+            continue  # depthwise-bound either way
+        assert ab > 0.95 * row["B* (DNN.B)"], row["Network"]
+
+
+def test_full_suite_marker(benchmark):
+    benchmark(lambda: None)
+    show(f"full-suite mode: {full_eval_requested()}")

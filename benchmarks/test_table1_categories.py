@@ -1,0 +1,35 @@
+"""Table I: DNN categories and their optimal accelerator types."""
+
+from repro.config import ModelCategory
+from repro.dse.report import format_table
+from conftest import show
+
+#: Table I, transcribed: benchmark family -> (A/B sparsity, category, arch).
+TABLE_I = [
+    ("CNN+Non-ReLU / Transformer+GeLU", "dense/dense", ModelCategory.DENSE, "Dense"),
+    ("CNN+ReLU / Transformer+ReLU", "sparse/dense", ModelCategory.A, "Sparse.A"),
+    ("Pruned CNN+Non-ReLU / Pruned Transformer+GeLU", "dense/sparse", ModelCategory.B, "Sparse.B"),
+    ("Pruned CNN+ReLU / Pruned Transformer+ReLU", "sparse/sparse", ModelCategory.AB, "Sparse.AB"),
+]
+
+
+def classify(a_b: str) -> ModelCategory:
+    a, b = a_b.split("/")
+    return ModelCategory.from_sparsity(a == "sparse", b == "sparse")
+
+
+def test_table1_category_mapping(benchmark):
+    rows = benchmark(
+        lambda: [
+            {
+                "Benchmarks": name,
+                "A/B sparsity": ab,
+                "Category": classify(ab).value,
+                "Optimal arch": arch,
+            }
+            for name, ab, _, arch in TABLE_I
+        ]
+    )
+    for row, (_, _, category, _) in zip(rows, TABLE_I):
+        assert row["Category"] == category.value
+    show(format_table(rows, title="Table I -- benchmark categories"))

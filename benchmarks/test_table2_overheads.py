@@ -1,0 +1,46 @@
+"""Table II: hardware overheads of the Sparse.A / Sparse.B families."""
+
+from repro.config import parse_notation
+from repro.core.overhead import overhead_of
+from repro.dse.report import format_table
+from conftest import show
+
+#: (notation, expected (ABUF, AMUX, BBUF, BMUX, ADT)) -- the Table II rows
+#: instantiated at representative distances.
+TABLE_II_ROWS = [
+    ("A(3,0,0)", (4, 4, 4, 4, 1)),
+    ("A(1,2,0)", (2, 4, 2, 4, 1)),
+    ("A(1,0,2)", (2, 4, 2, 2, 3)),
+    ("A(2,1,1)", (3, 9, 3, 5, 2)),
+    ("B(3,0,0)", (4, 4, 0, 0, 1)),
+    ("B(1,2,0)", (2, 4, 0, 0, 1)),
+    ("B(1,0,2)", (2, 2, 0, 0, 3)),
+    ("B(4,0,1)", (5, 5, 0, 0, 2)),
+]
+
+
+def test_table2_overheads(benchmark):
+    def build():
+        rows = []
+        for notation, _ in TABLE_II_ROWS:
+            ovh = overhead_of(parse_notation(notation))
+            rows.append(
+                {
+                    "Architecture": notation,
+                    "ABUF(depth)": ovh.abuf_depth,
+                    "AMUX(fan-in)": ovh.amux_fanin,
+                    "BBUF(depth)": ovh.bbuf_depth,
+                    "BMUX(fan-in)": ovh.bmux_fanin,
+                    "ADT(number)": ovh.adder_trees,
+                }
+            )
+        return rows
+
+    rows = benchmark(build)
+    for row, (notation, expected) in zip(rows, TABLE_II_ROWS):
+        measured = (
+            row["ABUF(depth)"], row["AMUX(fan-in)"], row["BBUF(depth)"],
+            row["BMUX(fan-in)"], row["ADT(number)"],
+        )
+        assert measured == expected, notation
+    show(format_table(rows, title="Table II -- single-sparse hardware overheads"))

@@ -1,0 +1,57 @@
+"""Table III: Griffin morphing vs the downgraded dual-sparse design."""
+
+from repro.config import GRIFFIN, ModelCategory
+from repro.core.griffin import compare_morph_vs_downgrade
+from repro.dse.evaluate import category_speedup
+from repro.dse.report import format_table
+from conftest import show
+
+
+def test_table3_morph_structure(benchmark):
+    def build():
+        rows = []
+        for category in (ModelCategory.A, ModelCategory.B):
+            cmp = compare_morph_vs_downgrade(GRIFFIN, category)
+            rows.append(
+                {
+                    "Model": category.value,
+                    "Downgrade": cmp.downgrade.notation,
+                    "Morph": cmp.morph.notation,
+                    "BMUX fan-in": f"{cmp.bmux_fanin_change[0]}->{cmp.bmux_fanin_change[1]}",
+                    "ABUF entries": f"{cmp.abuf_entries_used[0]}->{cmp.abuf_entries_used[1]}",
+                    "Metadata bits": f"{cmp.metadata_bits[0]}->{cmp.metadata_bits[1]}",
+                }
+            )
+        return rows
+
+    rows = benchmark(build)
+    assert rows[0]["Morph"] == "A(2,1,1,on)"
+    assert rows[1]["Morph"] == "B(8,0,1,on)"
+    show(format_table(rows, title="Table III -- Griffin morph vs dual-sparse downgrade"))
+
+
+def test_table3_morph_outperforms_downgrade(benchmark, settings):
+    def run():
+        out = {}
+        for category in (ModelCategory.A, ModelCategory.B):
+            cmp = compare_morph_vs_downgrade(GRIFFIN, category)
+            out[category] = (
+                category_speedup(cmp.downgrade, category, settings),
+                category_speedup(cmp.morph, category, settings),
+            )
+        return out
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = []
+    for category, (down, morph) in result.items():
+        rows.append(
+            {
+                "Model": category.value,
+                "Downgrade speedup": down,
+                "Morph speedup": morph,
+                "Gain": morph / down,
+            }
+        )
+        assert morph >= down * 0.98, category
+    assert result[ModelCategory.B][1] > result[ModelCategory.B][0] * 1.05
+    show(format_table(rows, title="Table III -- morph speedup vs downgrade"))

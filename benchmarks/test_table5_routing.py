@@ -1,0 +1,37 @@
+"""Table V: routing dimensions of the comparison architectures."""
+
+from repro.baselines import all_baselines
+from repro.config import GRIFFIN
+from repro.dse.report import format_table
+from conftest import show
+
+
+def test_table5_routing_dimensions(benchmark):
+    def build():
+        rows = [b.routing_row() for b in all_baselines()]
+        for conf_name, conf in (
+            ("Griffin conf.AB", GRIFFIN.conf_ab),
+            ("Griffin conf.B", GRIFFIN.conf_b),
+            ("Griffin conf.A", GRIFFIN.conf_a),
+        ):
+            rows.append(
+                {
+                    "Architecture": conf_name,
+                    "da1": conf.a.d1, "da2": conf.a.d2, "da3": conf.a.d3,
+                    "db1": conf.b.d1, "db2": conf.b.d2, "db3": conf.b.d3,
+                    "Shuffle": conf.shuffle,
+                    "Sparsity": "Hybrid Sparsity",
+                }
+            )
+        return rows
+
+    rows = benchmark(build)
+    by_name = {r["Architecture"]: r for r in rows}
+    # Baseline routes nothing; BitTactical is weight-only without db3;
+    # SparTen is time-only on both sides; only Griffin shuffles.
+    assert by_name["Baseline"]["db1"] == 0
+    assert by_name["BitTactical"]["da1"] == 0 and by_name["BitTactical"]["db3"] == 0
+    assert by_name["SparTen"]["da2"] == by_name["SparTen"]["db2"] == 0
+    assert not by_name["TensorDash"]["Shuffle"]
+    assert by_name["Griffin conf.AB"]["Shuffle"]
+    show(format_table(rows, title="Table V -- routing dimensions (A and B matrices)"))

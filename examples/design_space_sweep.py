@@ -1,0 +1,59 @@
+"""Scenario: pick a weight-sparse design for a pruned-CNN product line.
+
+Walks the Fig. 5 methodology end to end: sweep the constrained Sparse.B
+space, score every point on pruned and dense workloads, extract the Pareto
+front of (DNN.B efficiency, DNN.dense efficiency), and select the starred
+design with the paper's compromise rule.
+
+Run:  python examples/design_space_sweep.py          (quick suite, ~2 min)
+      REPRO_FULL_EVAL=1 python examples/design_space_sweep.py
+"""
+
+import os
+
+from repro.config import ModelCategory
+from repro.dse.evaluate import EvalSettings, evaluate_arch
+from repro.dse.explorer import sparse_b_space
+from repro.dse.pareto import pareto_front
+from repro.dse.report import format_table, select_optimal
+from repro.sim.engine import SimulationOptions
+
+
+def main() -> None:
+    full = os.environ.get("REPRO_FULL_EVAL", "0") == "1"
+    settings = EvalSettings(
+        quick=not full,
+        options=SimulationOptions(passes_per_gemm=3, max_t_steps=64),
+    )
+    space = sparse_b_space(db1_values=(2, 4, 6), max_db2=1, max_db3=2)
+    categories = (ModelCategory.B, ModelCategory.DENSE)
+
+    print(f"sweeping {len(space)} Sparse.B configurations "
+          f"({'full' if full else 'quick'} suite)...")
+    evals = [evaluate_arch(cfg, categories, settings) for cfg in space]
+
+    front = pareto_front(
+        evals,
+        objectives=[
+            lambda e: e.point(ModelCategory.B).tops_per_watt,
+            lambda e: e.point(ModelCategory.DENSE).tops_per_watt,
+        ],
+    )
+    rows = [
+        {
+            "Config": e.label,
+            "B speedup": e.speedup(ModelCategory.B),
+            "TOPS/W (B)": e.point(ModelCategory.B).tops_per_watt,
+            "TOPS/W (dense)": e.point(ModelCategory.DENSE).tops_per_watt,
+        }
+        for e in sorted(front, key=lambda e: -e.point(ModelCategory.B).tops_per_watt)
+    ]
+    print(format_table(rows, title="\nPareto front (power efficiency, B vs dense)"))
+
+    best = select_optimal(evals, ModelCategory.B)
+    print(f"\nselected design: {best.label} "
+          f"(paper's Table VI pick: B(4,0,1,on))")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""Scenario: fit a pruned-CNN workload into an edge energy budget.
+
+A camera product runs pruned ReLU ResNet-50 continuously and has a 2 mJ
+per-frame energy budget.  This script walks the candidate designs from
+cheapest to most capable, reports latency / energy / EDP per inference
+(using the clock-gated per-category power), and picks the cheapest design
+that meets the budget -- the deployment-side mirror of the paper's
+efficiency story.
+
+Run:  python examples/energy_budget.py
+"""
+
+from repro.config import GRIFFIN, ModelCategory, SPARSE_AB_STAR, SPARSE_B_STAR, dense
+from repro.hw.cost import griffin_category_power_mw, griffin_cost
+from repro.hw.energy import EnergyReport, inference_energy
+from repro.sim.engine import SimulationOptions, simulate_network
+from repro.workloads.registry import benchmark
+
+BUDGET_MJ = 2.0
+
+
+def main() -> None:
+    net = benchmark("ResNet50").network
+    options = SimulationOptions(passes_per_gemm=3, max_t_steps=96)
+    category = ModelCategory.AB  # pruned + ReLU
+
+    candidates = []
+    for config in (dense(), SPARSE_B_STAR, SPARSE_AB_STAR):
+        run = simulate_network(net, config, category, options)
+        candidates.append(inference_energy(run, config))
+    morph = GRIFFIN.config_for(category)
+    run = simulate_network(net, morph, category, options)
+    candidates.append(
+        EnergyReport(
+            label="Griffin",
+            network=net.name,
+            cycles=run.cycles,
+            power_mw=griffin_category_power_mw(GRIFFIN, griffin_cost(GRIFFIN), category),
+        )
+    )
+
+    print(f"pruned ReLU {net.name}, budget {BUDGET_MJ} mJ/frame\n")
+    print(f"{'design':12s} {'latency':>10s} {'energy':>10s} {'EDP':>12s}  verdict")
+    chosen = None
+    for report in candidates:
+        fits = report.energy_mj <= BUDGET_MJ
+        if fits and chosen is None:
+            chosen = report
+        print(f"{report.label:12s} {report.latency_ms:8.2f}ms "
+              f"{report.energy_mj:8.3f}mJ {report.edp:10.4f}mJ*ms  "
+              f"{'fits' if fits else 'over budget'}")
+
+    if chosen is None:
+        print("\nno design meets the budget; relax it or batch frames")
+    else:
+        print(f"\ncheapest fit: {chosen.label} "
+              f"({chosen.energy_mj:.3f} mJ per frame)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""Scenario: one edge accelerator, four kinds of models (the Griffin pitch).
+
+An edge NPU is fixed at tape-out but must run whatever models ship later:
+dense transformers with GeLU, ReLU CNNs, pruned CNNs, and fully sparse
+networks (paper Sec. I).  This script deploys the same Griffin core against
+all four categories and shows how it morphs -- and compares it with a plain
+dual-sparse design that cannot.
+
+Run:  python examples/hybrid_deployment.py
+"""
+
+from repro import GRIFFIN, ModelCategory, SPARSE_AB_STAR, SimulationOptions, benchmark
+from repro.core.metrics import effective_tops_per_watt, geometric_mean
+from repro.hw.cost import cost_of, gated_power_mw, griffin_category_power_mw, griffin_cost
+from repro.sim.engine import simulate_network
+
+#: One representative workload per category, as Table I maps them.
+DEPLOYMENT = [
+    (ModelCategory.DENSE, "BERT", "transformer with GeLU, no pruning"),
+    (ModelCategory.A, "ResNet50", "ReLU CNN, no pruning"),
+    (ModelCategory.B, "BERT", "movement-pruned transformer (GeLU)"),
+    (ModelCategory.AB, "ResNet50", "pruned ReLU CNN"),
+]
+
+
+def main() -> None:
+    options = SimulationOptions(passes_per_gemm=3, max_t_steps=96)
+    griffin_row = griffin_cost(GRIFFIN)
+    dual_row = cost_of(SPARSE_AB_STAR)
+
+    print(f"{'category':10s} {'workload':10s} {'Griffin mode':22s} "
+          f"{'speedup':>8s} {'TOPS/W':>7s}   vs plain dual-sparse")
+    gains = []
+    for category, name, description in DEPLOYMENT:
+        net = benchmark(name).network
+        mode = GRIFFIN.config_for(category)
+        res = simulate_network(net, mode, category, options)
+        dual = simulate_network(net, SPARSE_AB_STAR, category, options)
+        # Power is category-dependent: idle sparse machinery clock-gates.
+        eff = effective_tops_per_watt(
+            res.speedup, griffin_category_power_mw(GRIFFIN, griffin_row, category)
+        )
+        dual_eff = effective_tops_per_watt(
+            dual.speedup, gated_power_mw(dual_row, SPARSE_AB_STAR, category)
+        )
+        gain = eff / dual_eff
+        gains.append(gain)
+        print(f"{category.value:10s} {name:10s} {mode.label:22s} "
+              f"{res.speedup:7.2f}x {eff:7.1f}   {gain:5.2f}x  ({description})")
+
+    print(f"\nGeomean efficiency gain of morphing over plain dual sparse: "
+          f"{geometric_mean(gains):.2f}x")
+    print("The gain concentrates exactly where the paper says it should: "
+          "single-sparse models, where the dual design downgrades but "
+          "Griffin re-purposes its ABUF/adder trees (Table III).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+"""repro: a reproduction of Griffin (HPCA 2022).
+
+Griffin is a design-space study of sparse DNN accelerators built as
+*borrowing configurations* on top of an optimized dense GEMM core, plus a
+hybrid architecture that morphs between dual- and single-sparse modes.  The
+public API exposes the architecture configuration space, the cycle-level
+performance model, the calibrated power/area cost model, the six Table IV
+benchmark workloads, the SOTA baselines, and the design-space explorer that
+regenerates every table and figure of the paper.
+"""
+
+from repro.config import (
+    GRIFFIN,
+    PAPER_CORE,
+    SPARSE_A_STAR,
+    SPARSE_AB_STAR,
+    SPARSE_B_STAR,
+    ArchConfig,
+    BorrowConfig,
+    CoreGeometry,
+    GriffinArch,
+    ModelCategory,
+    dense,
+    parse_notation,
+    sparse_a,
+    sparse_ab,
+    sparse_b,
+)
+from repro.core.overhead import HardwareOverhead, overhead_of
+from repro.sim.engine import (
+    NetworkSimResult,
+    SimulationOptions,
+    simulate_layer,
+    simulate_network,
+    simulate_tile,
+)
+from repro.workloads.registry import BENCHMARKS, benchmark, benchmark_names
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ArchConfig",
+    "BorrowConfig",
+    "CoreGeometry",
+    "GriffinArch",
+    "ModelCategory",
+    "dense",
+    "sparse_a",
+    "sparse_b",
+    "sparse_ab",
+    "parse_notation",
+    "PAPER_CORE",
+    "GRIFFIN",
+    "SPARSE_A_STAR",
+    "SPARSE_B_STAR",
+    "SPARSE_AB_STAR",
+    "HardwareOverhead",
+    "overhead_of",
+    "simulate_tile",
+    "simulate_layer",
+    "simulate_network",
+    "SimulationOptions",
+    "NetworkSimResult",
+    "BENCHMARKS",
+    "benchmark",
+    "benchmark_names",
+    "__version__",
+]

@@ -1,0 +1,34 @@
+"""State-of-the-art comparison architectures (Table V / Sec. VII).
+
+Each baseline is expressed in the paper's own framework: a borrowing
+configuration for the performance model (Table V maps every design onto the
+``da``/``db`` routing dimensions) plus a cost row calibrated against its
+Table VII breakdown or published characteristics.
+"""
+
+from repro.baselines.bittactical import TCL_B, tcl_b_cost
+from repro.baselines.tensordash import TDASH_AB, tdash_ab_cost
+from repro.baselines.sparten import (
+    SPARTEN_A,
+    SPARTEN_AB,
+    SPARTEN_B,
+    sparten_cost,
+)
+from repro.baselines.others import CAMBRICON_X, CNVLUTIN
+from repro.baselines.registry import BaselineArch, all_baselines, baseline
+
+__all__ = [
+    "TCL_B",
+    "tcl_b_cost",
+    "TDASH_AB",
+    "tdash_ab_cost",
+    "SPARTEN_A",
+    "SPARTEN_B",
+    "SPARTEN_AB",
+    "sparten_cost",
+    "CNVLUTIN",
+    "CAMBRICON_X",
+    "BaselineArch",
+    "all_baselines",
+    "baseline",
+]

@@ -1,0 +1,38 @@
+"""Bit-Tactical (TCL) -- weight-only sparsity via static scheduling.
+
+TCL [13] compresses weights offline by routing nonzeros in time (lookahead)
+and input channel (lookaside) with a lightweight input multiplexing network;
+it does not route across output channels (``db3 = 0``) and has no shuffler
+(Table V).  In the paper's framework that is ``Sparse.B(2, 2, 0, off)`` --
+lookahead 2 with a 2-lane lookaside keeps the AMUX fan-in at 7, matching
+TCL's published mux network size.
+
+The paper's headline for this comparison (Sec. VI-A): adding shuffling and
+``db3 > 0`` on top of a TCL-style design -- i.e. moving to Sparse.B* --
+buys up to 47% more power efficiency.
+"""
+
+from __future__ import annotations
+
+from repro.config import ArchConfig, sparse_b
+from repro.hw.components import DEFAULT_LIBRARY, ComponentLibrary, FamilyCalibration
+from repro.hw.cost import CostBreakdown, cost_of
+
+#: TCL.B expressed in the borrowing framework (Table V row).
+TCL_B: ArchConfig = sparse_b(2, 2, 0, shuffle=False, name="TCL.B")
+
+#: Calibration fitted to the Table VII TCL.B row: REG/WR 24.3 mW
+#: (factor 1.066), MUL 85.9 mW (activity 1.372 -- TCL keeps multipliers
+#: busier per cycle), SRAM 57.2 mW at provisioned BW 3x (beta 0.359) with
+#: near-baseline banking (area 179 kum2, factor 1.017).
+TCL_CALIBRATION = FamilyCalibration(
+    reg_factor=1.066,
+    mul_activity=1.372,
+    sram_beta=0.359,
+    sram_area_factor=1.017,
+)
+
+
+def tcl_b_cost(library: ComponentLibrary = DEFAULT_LIBRARY) -> CostBreakdown:
+    """Table VII-style cost row for TCL.B."""
+    return cost_of(TCL_B, library=library, calibration=TCL_CALIBRATION, label="TCL.B")

@@ -1,0 +1,19 @@
+"""Earlier single-sparse designs quantified by the paper's framework.
+
+Cnvlutin [7] compresses activations in time only, with no shuffling; in
+the borrowing framework that is deep ``da1`` with no lane/PE routing.
+Cambricon-X [70] routes nonzero weights through a 16x16 window -- full-depth
+``db1``/``db2`` -- whose activation crossbar and bandwidth the paper calls
+out as the scaling limit.  Both serve the related-work comparison; the
+paper's headline SOTA comparisons use TCL, TensorDash and SparTen.
+"""
+
+from __future__ import annotations
+
+from repro.config import ArchConfig, sparse_a, sparse_b
+
+#: Cnvlutin: activation-only, time-compressed (Sec. VII).
+CNVLUTIN: ArchConfig = sparse_a(7, 0, 0, shuffle=False, name="Cnvlutin")
+
+#: Cambricon-X: weight-only, 16x16 routing window (Sec. VII).
+CAMBRICON_X: ArchConfig = sparse_b(15, 15, 0, shuffle=False, name="Cambricon-X")

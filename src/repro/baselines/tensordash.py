@@ -1,0 +1,45 @@
+"""TensorDash -- dual sparsity without weight preprocessing.
+
+TensorDash [43] attaches a small sparse interconnect in front of each
+multiplier and skips ineffectual pairs on the fly on *both* operand sides;
+unlike Griffin it never preprocesses the weight tensor, so its BBUF must
+hold raw (uncompressed) weights and its per-PE control carries the full
+pair-matching burden (the paper: "Both architectures do not exploit the
+benefits of weight preprocessing which can save the BBUF depth, BMUX fan-in
+size, and control overheads").
+
+In the borrowing framework TensorDash routes one step in time and two lanes
+aside on each operand -- ``Sparse.AB(1, 2, 0, 1, 2, 0, off)`` -- matching
+its published 4-input multiplexer per operand and no shuffler (Table V).
+"""
+
+from __future__ import annotations
+
+from repro.config import ArchConfig, sparse_ab
+from repro.hw.components import DEFAULT_LIBRARY, ComponentLibrary, FamilyCalibration
+from repro.hw.cost import CostBreakdown, cost_of
+
+#: TDash.AB expressed in the borrowing framework (Table V row).
+TDASH_AB: ArchConfig = sparse_ab(1, 2, 0, 1, 2, 0, shuffle=False, name="TDash.AB")
+
+#: Calibration fitted to the Table VII TDash.AB row: REG/WR 24.3 mW
+#: (factor 1.066), MUL 85.9 mW (activity 1.372), SRAM 84.1 mW at
+#: provisioned BW 4x (beta 0.508), banked area 196 kum2 (factor 1.114).
+#: The BBUF power factor 2.0 reflects holding *uncompressed* weights plus
+#: on-the-fly zero detection (no preprocessing); ABUF stays single-ported
+#: (Table VII: 5.8 mW over 256 words).
+TDASH_CALIBRATION = FamilyCalibration(
+    reg_factor=1.066,
+    mul_activity=1.372,
+    sram_beta=0.508,
+    sram_area_factor=1.114,
+    abuf_power_factor=0.99,
+    abuf_area_factor=1.0,
+    bbuf_power_factor=1.98,
+    bbuf_area_factor=2.0,
+)
+
+
+def tdash_ab_cost(library: ComponentLibrary = DEFAULT_LIBRARY) -> CostBreakdown:
+    """Table VII-style cost row for TDash.AB."""
+    return cost_of(TDASH_AB, library=library, calibration=TDASH_CALIBRATION, label="TDash.AB")

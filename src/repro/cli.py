@@ -1,0 +1,147 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Three subcommands cover the everyday questions:
+
+* ``simulate`` -- run one architecture on one benchmark and category;
+* ``cost``     -- print the Table VII-style breakdown of a design;
+* ``compare``  -- effective-efficiency table of several designs on one
+  category (a one-line slice of Fig. 8).
+
+Examples::
+
+    python -m repro simulate --arch "B(4,0,1,on)" --network ResNet50 --category DNN.B
+    python -m repro cost --arch "AB(2,0,0,2,0,1,on)"
+    python -m repro compare --category DNN.B --arch Dense --arch "B(4,0,1,on)" --arch Griffin
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Sequence
+
+from repro.config import GRIFFIN, ArchConfig, ModelCategory, parse_notation
+from repro.core.metrics import effective_tops_per_mm2, effective_tops_per_watt
+from repro.dse.evaluate import EvalSettings, category_speedup
+from repro.dse.report import format_table
+from repro.hw.cost import cost_of, gated_power_mw, griffin_category_power_mw, griffin_cost
+from repro.sim.engine import SimulationOptions, simulate_network
+from repro.workloads.registry import benchmark, benchmark_names
+
+
+def _category(text: str) -> ModelCategory:
+    for category in ModelCategory:
+        if category.value.lower() == text.lower() or category.name.lower() == text.lower():
+            return category
+    raise argparse.ArgumentTypeError(
+        f"unknown category {text!r}; choose from {[c.value for c in ModelCategory]}"
+    )
+
+
+def _options(args: argparse.Namespace) -> SimulationOptions:
+    return SimulationOptions(
+        passes_per_gemm=args.passes, max_t_steps=args.max_t, seed=args.seed
+    )
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    config = parse_notation(args.arch)
+    net = benchmark(args.network).network
+    result = simulate_network(net, config, args.category, _options(args))
+    print(f"{net.name} on {config.label} ({args.category.value}):")
+    print(f"  dense cycles : {result.dense_cycles:,}")
+    print(f"  cycles       : {result.cycles:,.0f}")
+    print(f"  speedup      : {result.speedup:.3f}x")
+    if args.layers:
+        rows = [
+            {
+                "Layer": layer.name,
+                "Cycles": f"{layer.cycles:.3g}",
+                "Share%": 100 * layer.dense_cycles / result.dense_cycles,
+                "Speedup": layer.speedup,
+            }
+            for layer in result.layers
+        ]
+        print(format_table(rows))
+    return 0
+
+
+def cmd_cost(args: argparse.Namespace) -> int:
+    if args.arch.lower() == "griffin":
+        row = griffin_cost(GRIFFIN)
+    else:
+        row = cost_of(parse_notation(args.arch))
+    print(f"{row.label}: {row.total_power_mw:.1f} mW, {row.total_area_kum2:.1f} k um^2")
+    print(format_table([
+        {"Component": k, "Power (mW)": round(p, 2), "Area (k um^2)": round(a, 2)}
+        for (k, p), a in zip(row.power_row().items(), row.area_row().values())
+    ]))
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    settings = EvalSettings(quick=not args.full, options=_options(args))
+    rows = []
+    for name in args.arch:
+        if name.lower() == "griffin":
+            config: ArchConfig = GRIFFIN.config_for(args.category)
+            cost = griffin_cost(GRIFFIN)
+            power = griffin_category_power_mw(GRIFFIN, cost, args.category)
+            label = "Griffin"
+        else:
+            config = parse_notation(name)
+            cost = cost_of(config)
+            power = gated_power_mw(cost, config, args.category)
+            label = config.label
+        speedup = category_speedup(config, args.category, settings)
+        rows.append(
+            {
+                "Architecture": label,
+                "Speedup": speedup,
+                "Power (mW)": round(power, 1),
+                "TOPS/W": effective_tops_per_watt(speedup, power),
+                "TOPS/mm2": effective_tops_per_mm2(speedup, cost.total_area_um2),
+            }
+        )
+    print(format_table(rows, title=f"{args.category.value} comparison"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Griffin (HPCA 2022) reproduction toolkit"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--passes", type=int, default=4, help="tiles sampled per GEMM")
+        p.add_argument("--max-t", dest="max_t", type=int, default=96)
+        p.add_argument("--seed", type=int, default=2022)
+
+    sim = sub.add_parser("simulate", help="cycle-simulate one network on one design")
+    sim.add_argument("--arch", required=True, help='e.g. "B(4,0,1,on)" or Dense')
+    sim.add_argument("--network", required=True, choices=benchmark_names())
+    sim.add_argument("--category", type=_category, default=ModelCategory.B)
+    sim.add_argument("--layers", action="store_true", help="print per-layer table")
+    common(sim)
+    sim.set_defaults(func=cmd_simulate)
+
+    cost = sub.add_parser("cost", help="print a design's power/area breakdown")
+    cost.add_argument("--arch", required=True, help='notation or "Griffin"')
+    cost.set_defaults(func=cmd_cost)
+
+    cmp_ = sub.add_parser("compare", help="efficiency table for several designs")
+    cmp_.add_argument("--arch", action="append", required=True)
+    cmp_.add_argument("--category", type=_category, default=ModelCategory.B)
+    cmp_.add_argument("--full", action="store_true", help="use the full 6-net suite")
+    common(cmp_)
+    cmp_.set_defaults(func=cmd_compare)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,347 @@
+"""Architecture configurations for the Griffin design space.
+
+The paper (Sec. II-III) describes every architecture as an optimized dense
+GEMM core plus a *borrowing configuration*: how far a multiplier may reach to
+replace a zero operand with a nonzero one.  Distances are expressed along
+three dimensions of the blocked operand tensors (Figure 1):
+
+* ``d1`` -- time: future ``K0``-slices of the reduction (K) dimension,
+* ``d2`` -- lane: adjacent positions inside the ``K0``-wide dot-product unit,
+* ``d3`` -- neighbouring PE: another output column (for matrix B) or another
+  output row (for matrix A).
+
+This module defines the configuration dataclasses for the dense baseline and
+the ``Sparse.A`` / ``Sparse.B`` / ``Sparse.AB`` / Griffin families, the
+canonical short notation used throughout the paper's figures (for example
+``"B(4,0,1,on)"``), and validation of the fan-in constraints the paper uses
+to bound its design-space sweeps.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from enum import Enum
+
+
+class ModelCategory(Enum):
+    """The four DNN model categories of Table I, named by (A, B) sparsity."""
+
+    DENSE = "DNN.dense"
+    A = "DNN.A"  # sparse activations, dense weights
+    B = "DNN.B"  # dense activations, sparse weights
+    AB = "DNN.AB"  # sparse activations and weights
+
+    @property
+    def activations_sparse(self) -> bool:
+        return self in (ModelCategory.A, ModelCategory.AB)
+
+    @property
+    def weights_sparse(self) -> bool:
+        return self in (ModelCategory.B, ModelCategory.AB)
+
+    @staticmethod
+    def from_sparsity(activations_sparse: bool, weights_sparse: bool) -> "ModelCategory":
+        """Classify a model by which of its tensors are sparse."""
+        if activations_sparse and weights_sparse:
+            return ModelCategory.AB
+        if activations_sparse:
+            return ModelCategory.A
+        if weights_sparse:
+            return ModelCategory.B
+        return ModelCategory.DENSE
+
+
+@dataclass(frozen=True)
+class CoreGeometry:
+    """Spatial unrolling of the dense GEMM core (Figure 1, Table IV).
+
+    The core performs ``m0 * n0 * k0`` MACs per cycle: ``m0 x n0`` PEs, each
+    a ``k0``-wide dot-product unit feeding an accumulator (output-stationary
+    dataflow).  The paper's configuration is ``(K0, N0, M0) = (16, 16, 4)``.
+    """
+
+    k0: int = 16
+    n0: int = 16
+    m0: int = 4
+    frequency_mhz: float = 800.0
+    precision_bits: int = 8
+
+    def __post_init__(self) -> None:
+        for name in ("k0", "n0", "m0"):
+            value = getattr(self, name)
+            if not isinstance(value, int) or value < 1:
+                raise ValueError(f"{name} must be a positive integer, got {value!r}")
+        if self.frequency_mhz <= 0:
+            raise ValueError(f"frequency_mhz must be positive, got {self.frequency_mhz}")
+        if self.precision_bits not in (4, 8, 16):
+            raise ValueError(f"precision_bits must be 4, 8 or 16, got {self.precision_bits}")
+
+    @property
+    def macs_per_cycle(self) -> int:
+        """Total multipliers in the core (1024 for the paper's config)."""
+        return self.k0 * self.n0 * self.m0
+
+    @property
+    def num_pes(self) -> int:
+        """Number of PEs (dot-product units with private accumulators)."""
+        return self.n0 * self.m0
+
+    @property
+    def dense_tops(self) -> float:
+        """Peak dense throughput in TOPS (2 ops per MAC)."""
+        return 2.0 * self.macs_per_cycle * self.frequency_mhz * 1e6 / 1e12
+
+
+#: The paper's core configuration (Table IV): (K0, N0, M0) = (16, 16, 4).
+PAPER_CORE = CoreGeometry()
+
+
+@dataclass(frozen=True)
+class BorrowConfig:
+    """Borrowing distances along (time, lane, neighbouring-PE) for one matrix.
+
+    A zero operand at blocked position ``(x1, x2, x3)`` may be replaced by a
+    nonzero at ``(x1 + i1, x2 + i2, x3 + i3)`` with ``ii <= di``
+    (Definitions III.1 / III.2).  ``(0, 0, 0)`` means no borrowing (dense
+    behaviour for that matrix).
+    """
+
+    d1: int = 0
+    d2: int = 0
+    d3: int = 0
+
+    def __post_init__(self) -> None:
+        for name in ("d1", "d2", "d3"):
+            value = getattr(self, name)
+            if not isinstance(value, int) or value < 0:
+                raise ValueError(f"{name} must be a non-negative integer, got {value!r}")
+
+    @property
+    def is_dense(self) -> bool:
+        """True when no borrowing is allowed at all."""
+        return self.d1 == 0 and self.d2 == 0 and self.d3 == 0
+
+    @property
+    def window(self) -> int:
+        """Time-lookahead window size (entries visible per stream)."""
+        return 1 + self.d1
+
+    @property
+    def candidates(self) -> int:
+        """Number of candidate donor positions for one zero slot."""
+        return (1 + self.d1) * (1 + self.d2) * (1 + self.d3)
+
+    def as_tuple(self) -> tuple[int, int, int]:
+        return (self.d1, self.d2, self.d3)
+
+    def __str__(self) -> str:
+        return f"({self.d1},{self.d2},{self.d3})"
+
+
+_NO_BORROW = BorrowConfig(0, 0, 0)
+
+
+@dataclass(frozen=True)
+class ArchConfig:
+    """A point in the Griffin design space.
+
+    ``a`` and ``b`` give the borrowing distances for matrices A (activations)
+    and B (weights); ``shuffle`` enables the rotation-based fine-grain load
+    balancer (Sec. III, Load Balancing).  The dense baseline is
+    ``ArchConfig()`` with no borrowing and no shuffle.
+    """
+
+    a: BorrowConfig = _NO_BORROW
+    b: BorrowConfig = _NO_BORROW
+    shuffle: bool = False
+    geometry: CoreGeometry = PAPER_CORE
+    name: str | None = None
+
+    @property
+    def supports_a_sparsity(self) -> bool:
+        return not self.a.is_dense
+
+    @property
+    def supports_b_sparsity(self) -> bool:
+        return not self.b.is_dense
+
+    @property
+    def family(self) -> str:
+        """One of ``"Dense"``, ``"Sparse.A"``, ``"Sparse.B"``, ``"Sparse.AB"``."""
+        if self.supports_a_sparsity and self.supports_b_sparsity:
+            return "Sparse.AB"
+        if self.supports_a_sparsity:
+            return "Sparse.A"
+        if self.supports_b_sparsity:
+            return "Sparse.B"
+        return "Dense"
+
+    @property
+    def notation(self) -> str:
+        """The paper's short notation, e.g. ``B(4,0,1,on)``."""
+        flag = "on" if self.shuffle else "off"
+        if self.family == "Dense":
+            return "Dense"
+        if self.family == "Sparse.A":
+            return f"A({self.a.d1},{self.a.d2},{self.a.d3},{flag})"
+        if self.family == "Sparse.B":
+            return f"B({self.b.d1},{self.b.d2},{self.b.d3},{flag})"
+        return (
+            f"AB({self.a.d1},{self.a.d2},{self.a.d3},"
+            f"{self.b.d1},{self.b.d2},{self.b.d3},{flag})"
+        )
+
+    @property
+    def label(self) -> str:
+        """Display name: the explicit ``name`` if set, else the notation."""
+        return self.name if self.name is not None else self.notation
+
+    def __str__(self) -> str:
+        return self.label
+
+
+def dense(geometry: CoreGeometry = PAPER_CORE) -> ArchConfig:
+    """The optimized dense baseline core (Sec. II-A)."""
+    return ArchConfig(geometry=geometry, name="Baseline")
+
+
+def sparse_a(
+    da1: int,
+    da2: int = 0,
+    da3: int = 0,
+    shuffle: bool = False,
+    geometry: CoreGeometry = PAPER_CORE,
+    name: str | None = None,
+) -> ArchConfig:
+    """``Sparse.A(da1, da2, da3)`` -- activation-only sparsity (Def. III.1)."""
+    return ArchConfig(
+        a=BorrowConfig(da1, da2, da3), shuffle=shuffle, geometry=geometry, name=name
+    )
+
+
+def sparse_b(
+    db1: int,
+    db2: int = 0,
+    db3: int = 0,
+    shuffle: bool = False,
+    geometry: CoreGeometry = PAPER_CORE,
+    name: str | None = None,
+) -> ArchConfig:
+    """``Sparse.B(db1, db2, db3)`` -- weight-only sparsity (Def. III.2)."""
+    return ArchConfig(
+        b=BorrowConfig(db1, db2, db3), shuffle=shuffle, geometry=geometry, name=name
+    )
+
+
+def sparse_ab(
+    da1: int,
+    da2: int,
+    da3: int,
+    db1: int,
+    db2: int,
+    db3: int,
+    shuffle: bool = False,
+    geometry: CoreGeometry = PAPER_CORE,
+    name: str | None = None,
+) -> ArchConfig:
+    """``Sparse.AB(da1..db3)`` -- dual sparsity (Def. IV.1)."""
+    return ArchConfig(
+        a=BorrowConfig(da1, da2, da3),
+        b=BorrowConfig(db1, db2, db3),
+        shuffle=shuffle,
+        geometry=geometry,
+        name=name,
+    )
+
+
+_NOTATION_RE = re.compile(
+    r"^\s*(AB|A|B)\s*\(\s*([0-9]+(?:\s*,\s*[0-9]+)*)\s*(?:,\s*(on|off))?\s*\)\s*$",
+    re.IGNORECASE,
+)
+
+
+def parse_notation(text: str) -> ArchConfig:
+    """Parse the paper's short notation into an :class:`ArchConfig`.
+
+    Accepted forms: ``"Dense"``, ``"A(2,1,0,on)"``, ``"B(4,0,1)"`` and
+    ``"AB(2,0,0,2,0,1,on)"``.  The shuffle flag defaults to off.
+    """
+    if text.strip().lower() in ("dense", "baseline"):
+        return dense()
+    match = _NOTATION_RE.match(text)
+    if match is None:
+        raise ValueError(f"unrecognized architecture notation: {text!r}")
+    family = match.group(1).upper()
+    numbers = [int(tok) for tok in re.split(r"\s*,\s*", match.group(2))]
+    shuffle = (match.group(3) or "off").lower() == "on"
+    if family == "A":
+        if len(numbers) != 3:
+            raise ValueError(f"A(...) takes 3 distances, got {len(numbers)}: {text!r}")
+        return sparse_a(*numbers, shuffle=shuffle)
+    if family == "B":
+        if len(numbers) != 3:
+            raise ValueError(f"B(...) takes 3 distances, got {len(numbers)}: {text!r}")
+        return sparse_b(*numbers, shuffle=shuffle)
+    if len(numbers) != 6:
+        raise ValueError(f"AB(...) takes 6 distances, got {len(numbers)}: {text!r}")
+    return sparse_ab(*numbers, shuffle=shuffle)
+
+
+@dataclass(frozen=True)
+class GriffinArch:
+    """The hybrid architecture (Sec. IV-B).
+
+    Griffin is provisioned as a dual-sparse design (``conf_ab``) and *morphs*
+    into more aggressive single-sparse configurations when the running model
+    is only sparse on one side, reusing the already-paid ABUF/BBUF/MUX/adder
+    overheads (Table III).  The published optimal instance uses::
+
+        conf.AB = Sparse.AB(2,0,0,2,0,1,on)
+        conf.B  = Sparse.B(8,0,1,on)
+        conf.A  = Sparse.A(2,1,1,on)
+    """
+
+    conf_ab: ArchConfig = field(
+        default_factory=lambda: sparse_ab(2, 0, 0, 2, 0, 1, shuffle=True)
+    )
+    conf_b: ArchConfig = field(default_factory=lambda: sparse_b(8, 0, 1, shuffle=True))
+    conf_a: ArchConfig = field(default_factory=lambda: sparse_a(2, 1, 1, shuffle=True))
+    name: str = "Griffin"
+
+    def __post_init__(self) -> None:
+        if self.conf_ab.family != "Sparse.AB":
+            raise ValueError("conf_ab must be a Sparse.AB configuration")
+        if self.conf_b.family != "Sparse.B":
+            raise ValueError("conf_b must be a Sparse.B configuration")
+        if self.conf_a.family != "Sparse.A":
+            raise ValueError("conf_a must be a Sparse.A configuration")
+
+    @property
+    def geometry(self) -> CoreGeometry:
+        return self.conf_ab.geometry
+
+    def config_for(self, category: ModelCategory) -> ArchConfig:
+        """The configuration Griffin morphs into for a model category.
+
+        Dense models run on the dual-sparse datapath with borrowing idle
+        (the sparsity logic is clock-gated but its area is still paid).
+        """
+        if category is ModelCategory.A:
+            return self.conf_a
+        if category is ModelCategory.B:
+            return self.conf_b
+        if category is ModelCategory.AB:
+            return self.conf_ab
+        return ArchConfig(geometry=self.geometry, name=f"{self.name}[dense]")
+
+    @property
+    def label(self) -> str:
+        return self.name
+
+
+#: Published optimal design points (Table VI).
+SPARSE_B_STAR = sparse_b(4, 0, 1, shuffle=True, name="Sparse.B*")
+SPARSE_A_STAR = sparse_a(2, 1, 0, shuffle=True, name="Sparse.A*")
+SPARSE_AB_STAR = sparse_ab(2, 0, 0, 2, 0, 1, shuffle=True, name="Sparse.AB*")
+GRIFFIN = GriffinArch()

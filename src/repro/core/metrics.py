@@ -1,0 +1,82 @@
+"""Evaluation metrics (Definition V.1 and the paper's reporting rules).
+
+The paper scores a design on a model category by its *effective* throughput
+per watt / per square millimetre::
+
+    Effective TOPS/W   = sparsity speedup x dense TOPS/W
+    Effective TOPS/mm2 = sparsity speedup x dense TOPS/mm2
+
+where the sparsity speedup is the geometric mean over the benchmark suite
+of ``dense cycles / achieved cycles``, dense TOPS is the peak throughput of
+the 1024-MAC core, and power/area come from the synthesis-calibrated cost
+model.  Note the efficiency of a sparse design on *dense* models is worse
+than the dense baseline -- the paper calls that gap the "sparsity tax".
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.config import CoreGeometry, PAPER_CORE
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean, the paper's aggregator across benchmarks."""
+    values = list(values)
+    if not values:
+        raise ValueError("geometric mean of an empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError(f"geometric mean requires positive values, got {values}")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def dense_tops(geometry: CoreGeometry = PAPER_CORE) -> float:
+    """Peak dense TOPS of the core (2 ops per MAC)."""
+    return geometry.dense_tops
+
+
+def effective_tops_per_watt(
+    speedup: float, power_mw: float, geometry: CoreGeometry = PAPER_CORE
+) -> float:
+    """Definition V.1: effective TOPS/W."""
+    if power_mw <= 0:
+        raise ValueError(f"power must be positive, got {power_mw}")
+    return speedup * dense_tops(geometry) / (power_mw * 1e-3)
+
+
+def effective_tops_per_mm2(
+    speedup: float, area_um2: float, geometry: CoreGeometry = PAPER_CORE
+) -> float:
+    """Definition V.1: effective TOPS/mm^2."""
+    if area_um2 <= 0:
+        raise ValueError(f"area must be positive, got {area_um2}")
+    return speedup * dense_tops(geometry) / (area_um2 * 1e-6)
+
+
+@dataclass(frozen=True)
+class EfficiencyPoint:
+    """One (architecture, model category) point of Figs. 5-8."""
+
+    label: str
+    category: str
+    speedup: float
+    power_mw: float
+    area_um2: float
+    geometry: CoreGeometry = PAPER_CORE
+
+    @property
+    def tops_per_watt(self) -> float:
+        return effective_tops_per_watt(self.speedup, self.power_mw, self.geometry)
+
+    @property
+    def tops_per_mm2(self) -> float:
+        return effective_tops_per_mm2(self.speedup, self.area_um2, self.geometry)
+
+    def relative_to(self, other: "EfficiencyPoint") -> tuple[float, float]:
+        """(power-efficiency, area-efficiency) ratios vs another point."""
+        return (
+            self.tops_per_watt / other.tops_per_watt,
+            self.tops_per_mm2 / other.tops_per_mm2,
+        )

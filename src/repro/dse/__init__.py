@@ -1,0 +1,33 @@
+"""Design-space exploration: sweeps, evaluation, Pareto fronts, reports."""
+
+from repro.dse.explorer import (
+    sparse_a_space,
+    sparse_ab_space,
+    sparse_b_space,
+)
+from repro.dse.evaluate import (
+    DesignEvaluation,
+    EvalSettings,
+    category_speedup,
+    evaluate_arch,
+    evaluate_griffin,
+)
+from repro.dse.figures import bar_chart, scatter_plot
+from repro.dse.pareto import pareto_front
+from repro.dse.report import format_table, select_optimal
+
+__all__ = [
+    "sparse_a_space",
+    "sparse_b_space",
+    "sparse_ab_space",
+    "EvalSettings",
+    "DesignEvaluation",
+    "category_speedup",
+    "evaluate_arch",
+    "evaluate_griffin",
+    "pareto_front",
+    "bar_chart",
+    "scatter_plot",
+    "format_table",
+    "select_optimal",
+]

@@ -1,0 +1,136 @@
+"""Evaluation of design points: suite speedups + cost -> efficiency.
+
+A design point is scored per model category by the geometric mean of its
+end-to-end speedup over the benchmark suite (Sec. V), turned into effective
+TOPS/W and TOPS/mm^2 with the calibrated cost model (Definition V.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.config import ArchConfig, GriffinArch, ModelCategory
+from repro.core.metrics import EfficiencyPoint, geometric_mean
+from repro.hw.components import FamilyCalibration
+from repro.hw.cost import cost_of, gated_power_mw, griffin_category_power_mw, griffin_cost
+from repro.sim.engine import SimulationOptions, simulate_network
+from repro.workloads.registry import BENCHMARKS, BenchmarkInfo
+
+
+@dataclass(frozen=True)
+class EvalSettings:
+    """Suite and sampling choices for a design-space run.
+
+    ``quick`` trims the suite to three representative benchmarks and uses
+    lighter tile sampling -- what the checked-in benchmarks run by default
+    so a full figure regenerates in minutes.  Construct with
+    ``quick=False`` for the full six-network Table IV suite.
+    """
+
+    quick: bool = True
+    options: SimulationOptions = field(
+        default_factory=lambda: SimulationOptions(passes_per_gemm=3, max_t_steps=64)
+    )
+
+    def suite(self, category: ModelCategory) -> list[BenchmarkInfo]:
+        infos = [b for b in BENCHMARKS if category in b.categories()]
+        if self.quick:
+            keep = {"AlexNet", "ResNet50", "BERT"}
+            quick_infos = [b for b in infos if b.name in keep]
+            return quick_infos or infos
+        return infos
+
+
+def category_speedup(
+    config: ArchConfig,
+    category: ModelCategory,
+    settings: EvalSettings | None = None,
+) -> float:
+    """Geometric-mean end-to-end speedup of a config on one category."""
+    settings = settings or EvalSettings()
+    speedups = [
+        simulate_network(info.network, config, category, settings.options).speedup
+        for info in settings.suite(category)
+    ]
+    return geometric_mean(speedups)
+
+
+@dataclass(frozen=True)
+class DesignEvaluation:
+    """A design point's score card across model categories."""
+
+    label: str
+    points: tuple[EfficiencyPoint, ...]
+
+    def point(self, category: ModelCategory) -> EfficiencyPoint:
+        for pt in self.points:
+            if pt.category == category.value:
+                return pt
+        raise KeyError(f"{self.label} was not evaluated on {category}")
+
+    def speedup(self, category: ModelCategory) -> float:
+        return self.point(category).speedup
+
+
+def evaluate_arch(
+    config: ArchConfig,
+    categories: tuple[ModelCategory, ...],
+    settings: EvalSettings | None = None,
+    calibration: FamilyCalibration | None = None,
+    power_mw: float | None = None,
+    area_um2: float | None = None,
+) -> DesignEvaluation:
+    """Evaluate one configuration across model categories.
+
+    Cost defaults to the calibrated model; explicit ``power_mw`` /
+    ``area_um2`` override it (used for the transcription-calibrated
+    baseline rows like SparTen).
+    """
+    settings = settings or EvalSettings()
+    cost = cost_of(config, calibration=calibration)
+    area = area_um2 if area_um2 is not None else cost.total_area_um2
+    points = []
+    for category in categories:
+        speedup = category_speedup(config, category, settings)
+        if power_mw is not None:
+            power = power_mw
+        else:
+            # Table VII power is the sparse operating point; idle sparse
+            # machinery clock-gates on the other categories.
+            power = gated_power_mw(cost, config, category)
+        points.append(
+            EfficiencyPoint(
+                label=config.label,
+                category=category.value,
+                speedup=speedup,
+                power_mw=power,
+                area_um2=area,
+                geometry=config.geometry,
+            )
+        )
+    return DesignEvaluation(label=config.label, points=tuple(points))
+
+
+def evaluate_griffin(
+    griffin: GriffinArch,
+    categories: tuple[ModelCategory, ...] = tuple(ModelCategory),
+    settings: EvalSettings | None = None,
+) -> DesignEvaluation:
+    """Evaluate the hybrid: per category it morphs, the cost stays fixed."""
+    settings = settings or EvalSettings()
+    cost = griffin_cost(griffin)
+    points = []
+    for category in categories:
+        config = griffin.config_for(category)
+        speedup = category_speedup(config, category, settings)
+        points.append(
+            EfficiencyPoint(
+                label=griffin.label,
+                category=category.value,
+                speedup=speedup,
+                power_mw=griffin_category_power_mw(griffin, cost, category),
+                area_um2=cost.total_area_um2,
+                geometry=griffin.geometry,
+            )
+        )
+    return DesignEvaluation(label=griffin.label, points=tuple(points))

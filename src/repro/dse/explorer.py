@@ -1,0 +1,84 @@
+"""Constrained sweep generators for the three design-space figures.
+
+The paper bounds each sweep by multiplexer fan-in (larger MUXes "severely
+impact power efficiency"): 8 inputs for the single-sparse spaces (Figs. 5
+and 6), 16 for the dual-sparse space (Fig. 7, which can tolerate more
+overhead), and excludes the regions its results sections rule out
+(``db1 = 1`` is "far from the optimal points"; dual designs with
+``da3 > 0`` are never Pareto-optimal because ``da3`` inflates the AMUX,
+and ``da1 > 2`` inflates the BBUF).
+"""
+
+from __future__ import annotations
+
+from repro.config import ArchConfig, sparse_a, sparse_ab, sparse_b
+from repro.core.overhead import overhead_of
+
+
+def sparse_b_space(
+    db1_values: tuple[int, ...] = (2, 3, 4, 6),
+    max_db2: int = 2,
+    max_db3: int = 2,
+    max_amux_fanin: int = 8,
+    shuffle_options: tuple[bool, ...] = (False, True),
+) -> list[ArchConfig]:
+    """The Fig. 5 weight-only sweep (AMUX fan-in <= 8, db1 > 1)."""
+    configs = []
+    for db1 in db1_values:
+        if db1 <= 1:
+            continue  # removed by the paper as far from optimal
+        for db2 in range(max_db2 + 1):
+            for db3 in range(max_db3 + 1):
+                for shuffle in shuffle_options:
+                    config = sparse_b(db1, db2, db3, shuffle=shuffle)
+                    if overhead_of(config).amux_fanin <= max_amux_fanin:
+                        configs.append(config)
+    return configs
+
+
+def sparse_a_space(
+    da1_values: tuple[int, ...] = (1, 2, 3, 4),
+    max_da2: int = 2,
+    max_da3: int = 2,
+    max_fanin: int = 8,
+    shuffle_options: tuple[bool, ...] = (False, True),
+) -> list[ArchConfig]:
+    """The Fig. 6 activation-only sweep (AMUX/BMUX fan-in <= 8)."""
+    configs = []
+    for da1 in da1_values:
+        for da2 in range(max_da2 + 1):
+            for da3 in range(max_da3 + 1):
+                for shuffle in shuffle_options:
+                    config = sparse_a(da1, da2, da3, shuffle=shuffle)
+                    ovh = overhead_of(config)
+                    if max(ovh.amux_fanin, ovh.bmux_fanin) <= max_fanin:
+                        configs.append(config)
+    return configs
+
+
+def sparse_ab_space(
+    da1_values: tuple[int, ...] = (1, 2),
+    db1_values: tuple[int, ...] = (1, 2, 3, 4),
+    max_db2: int = 1,
+    max_db3: int = 2,
+    max_amux_fanin: int = 16,
+    shuffle_options: tuple[bool, ...] = (False, True),
+) -> list[ArchConfig]:
+    """The Fig. 7 dual-sparse sweep (AMUX fan-in <= 16, no ``da3``).
+
+    Following the paper's observations, designs with ``da3 > 0`` are
+    excluded (they inflate the AMUX without reaching the Pareto front) and
+    ``da1`` stays at most 2 (larger values blow up the BBUF).  ``da2`` is
+    left at zero because shuffling replaces it at ~2% of the cost
+    (observation 1); the shuffle-off points keep ``db2`` as the comparison.
+    """
+    configs = []
+    for da1 in da1_values:
+        for db1 in db1_values:
+            for db2 in range(max_db2 + 1):
+                for db3 in range(max_db3 + 1):
+                    for shuffle in shuffle_options:
+                        config = sparse_ab(da1, 0, 0, db1, db2, db3, shuffle=shuffle)
+                        if overhead_of(config).amux_fanin <= max_amux_fanin:
+                            configs.append(config)
+    return configs

@@ -1,0 +1,70 @@
+"""ASCII rendering of the paper's figures (bars and scatters).
+
+The evaluation environment has no plotting stack, so the figure benches
+render Figs. 5-8 as aligned text: horizontal bar charts for the speedup
+panels and coordinate dumps with a coarse character grid for the
+efficiency scatters.  Good enough to eyeball who wins, where the Pareto
+front bends, and whether a shuffle bar towers over its unshuffled twin.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+
+def bar_chart(
+    values: Mapping[str, float],
+    title: str = "",
+    width: int = 48,
+    unit: str = "x",
+) -> str:
+    """Horizontal bars, one per labelled value, scaled to the maximum."""
+    if not values:
+        return title
+    peak = max(values.values())
+    if peak <= 0:
+        raise ValueError("bar chart needs at least one positive value")
+    label_w = max(len(k) for k in values)
+    lines = [title] if title else []
+    for label, value in values.items():
+        bar = "#" * max(1, round(width * value / peak))
+        lines.append(f"{label.ljust(label_w)} |{bar} {value:.2f}{unit}")
+    return "\n".join(lines)
+
+
+def scatter_plot(
+    points: Sequence[tuple[str, float, float]],
+    title: str = "",
+    x_label: str = "x",
+    y_label: str = "y",
+    cols: int = 56,
+    rows: int = 16,
+) -> str:
+    """A coarse character-grid scatter with a point legend.
+
+    Each point is tagged with a letter; collisions show the first tag.
+    """
+    if not points:
+        return title
+    xs = [p[1] for p in points]
+    ys = [p[2] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+    grid = [[" "] * cols for _ in range(rows)]
+    tags = []
+    for index, (label, x, y) in enumerate(points):
+        tag = chr(ord("A") + index % 26)
+        tags.append(f"{tag}: {label} ({x:.2f}, {y:.2f})")
+        col = round((x - x_lo) / x_span * (cols - 1))
+        row = rows - 1 - round((y - y_lo) / y_span * (rows - 1))
+        if grid[row][col] == " ":
+            grid[row][col] = tag
+    lines = [title] if title else []
+    lines.append(f"{y_label} ({y_lo:.2f} .. {y_hi:.2f})")
+    lines += ["|" + "".join(r) for r in grid]
+    lines.append("+" + "-" * cols)
+    lines.append(f" {x_label} ({x_lo:.2f} .. {x_hi:.2f})")
+    lines += tags
+    return "\n".join(lines)

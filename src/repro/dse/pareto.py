@@ -1,0 +1,34 @@
+"""Pareto-front extraction for the efficiency scatter plots (Figs. 5-7)."""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+def pareto_front(
+    items: Iterable[T],
+    objectives: Sequence[Callable[[T], float]],
+) -> list[T]:
+    """Items not dominated on the given maximize-objectives.
+
+    An item is dominated if another is at least as good on every objective
+    and strictly better on one.  Returns the front in the input order.
+    """
+    items = list(items)
+    scores = [[obj(item) for obj in objectives] for item in items]
+    front = []
+    for i, item in enumerate(items):
+        dominated = False
+        for j, other in enumerate(scores):
+            if j == i:
+                continue
+            if all(o >= s for o, s in zip(other, scores[i])) and any(
+                o > s for o, s in zip(other, scores[i])
+            ):
+                dominated = True
+                break
+        if not dominated:
+            front.append(item)
+    return front

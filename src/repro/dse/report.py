@@ -1,0 +1,64 @@
+"""Report helpers: ASCII tables and optimal-point selection (Table VI).
+
+The paper picks its starred designs as "high TOPS/W on the sparse category
+with minimal efficiency loss on DNN.dense" (Sec. VI-A).  ``select_optimal``
+formalizes that as maximizing the *product* of sparse-category and
+dense-category power efficiency over the Pareto-optimal points -- a scale-
+free compromise rule that reproduces the paper's choices.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.config import ModelCategory
+from repro.dse.evaluate import DesignEvaluation
+from repro.dse.pareto import pareto_front
+
+
+def format_table(rows: Sequence[Mapping[str, object]], title: str = "") -> str:
+    """Render mappings as an aligned ASCII table (benchmark output)."""
+    if not rows:
+        return title
+    headers = list(rows[0].keys())
+    cells = [
+        [f"{v:.3g}" if isinstance(v, float) else str(v) for v in row.values()]
+        for row in rows
+    ]
+    widths = [
+        max(len(h), *(len(c[i]) for c in cells)) for i, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def select_optimal(
+    evaluations: Sequence[DesignEvaluation],
+    sparse_category: ModelCategory,
+    dense_category: ModelCategory = ModelCategory.DENSE,
+) -> DesignEvaluation:
+    """Pick the starred design point for one sparse category.
+
+    Restricts to the (sparse-eff, dense-eff) Pareto front and maximizes the
+    product of the two power efficiencies.
+    """
+    if not evaluations:
+        raise ValueError("no design points to select from")
+    front = pareto_front(
+        evaluations,
+        objectives=[
+            lambda e: e.point(sparse_category).tops_per_watt,
+            lambda e: e.point(dense_category).tops_per_watt,
+        ],
+    )
+    return max(
+        front,
+        key=lambda e: e.point(sparse_category).tops_per_watt
+        * e.point(dense_category).tops_per_watt,
+    )

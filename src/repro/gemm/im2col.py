@@ -1,0 +1,65 @@
+"""im2col lowering of convolution activations to GEMM operand masks.
+
+The input feature map of a convolution is reshaped to a 2-D matrix
+``A[M, K]`` with ``M = Hout*Wout`` and ``K = Cin*R*S`` (Sec. II-A).  A zero
+in the feature map appears at every (R*S) patch position that covers it, so
+activation sparsity in the GEMM operand inherits strong spatial correlation
+-- which is exactly the structure the shuffler and the lane/PE borrowing
+dimensions exploit.  This module performs the lowering on *masks* (the
+simulator only needs nonzero structure, never values).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def conv_output_size(input_hw: int, kernel: int, stride: int = 1, padding: int = 0) -> int:
+    """Spatial output size of a convolution."""
+    out = (input_hw + 2 * padding - kernel) // stride + 1
+    if out < 1:
+        raise ValueError(
+            f"convolution produces empty output: input={input_hw}, kernel={kernel}, "
+            f"stride={stride}, padding={padding}"
+        )
+    return out
+
+
+def im2col_mask(
+    fmap_mask: np.ndarray,
+    kernel: int,
+    stride: int = 1,
+    padding: int = 0,
+) -> np.ndarray:
+    """Lower a feature-map nonzero mask ``[C, H, W]`` to a GEMM mask ``[M, K]``.
+
+    Rows index output pixels (row-major over ``Hout x Wout``); columns index
+    ``(c, r, s)`` in C-major order, matching the ``K = Cin*R*S`` flattening
+    of the weight tensor.  Padded positions are zeros.
+    """
+    fmap_mask = np.asarray(fmap_mask, dtype=bool)
+    if fmap_mask.ndim != 3:
+        raise ValueError(f"feature-map mask must be [C, H, W], got shape {fmap_mask.shape}")
+    channels, height, width = fmap_mask.shape
+    if height != width:
+        raise ValueError("only square feature maps are supported")
+    out_hw = conv_output_size(height, kernel, stride, padding)
+
+    padded = np.zeros((channels, height + 2 * padding, width + 2 * padding), dtype=bool)
+    padded[:, padding : padding + height, padding : padding + width] = fmap_mask
+
+    rows = out_hw * out_hw
+    cols = channels * kernel * kernel
+    out = np.empty((rows, cols), dtype=bool)
+    col = 0
+    for c in range(channels):
+        for r in range(kernel):
+            for s in range(kernel):
+                patch = padded[
+                    c,
+                    r : r + out_hw * stride : stride,
+                    s : s + out_hw * stride : stride,
+                ]
+                out[:, col] = patch.reshape(rows)
+                col += 1
+    return out

@@ -1,0 +1,69 @@
+"""Blocking of a GEMM onto the core (Figure 1).
+
+The outer loops tile ``C += A x B`` into passes that fit the accelerator:
+each pass computes an ``M0 x N0`` output block by streaming
+``T = ceil(K / K0)`` time steps through the ``K0``-wide dot-product units.
+The number of dense cycles for a layer is therefore
+``ceil(M/M0) * ceil(N/N0) * ceil(K/K0)`` (output-stationary dataflow).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.config import CoreGeometry
+from repro.gemm.layers import GemmShape
+
+
+@dataclass(frozen=True)
+class TileGrid:
+    """The pass structure of one GEMM on a given core geometry."""
+
+    shape: GemmShape
+    geometry: CoreGeometry
+    m_tiles: int
+    n_tiles: int
+    t_steps: int
+
+    @property
+    def passes(self) -> int:
+        """Output tiles per repeat of the GEMM."""
+        return self.m_tiles * self.n_tiles
+
+    @property
+    def total_passes(self) -> int:
+        return self.passes * self.shape.repeats
+
+    @property
+    def dense_cycles(self) -> int:
+        """Cycles the dense baseline needs for the whole GEMM."""
+        return self.total_passes * self.t_steps
+
+    @property
+    def edge_m(self) -> int:
+        """Rows of the last (possibly partial) M tile."""
+        rem = self.shape.m % self.geometry.m0
+        return rem if rem else self.geometry.m0
+
+    @property
+    def edge_n(self) -> int:
+        rem = self.shape.n % self.geometry.n0
+        return rem if rem else self.geometry.n0
+
+    @property
+    def utilization(self) -> float:
+        """Dense MAC utilization (edge tiles waste lanes/PEs)."""
+        ideal = self.shape.macs / self.geometry.macs_per_cycle
+        return ideal / self.dense_cycles if self.dense_cycles else 0.0
+
+
+def tile_grid(shape: GemmShape, geometry: CoreGeometry) -> TileGrid:
+    """Block a GEMM shape onto the core per Figure 1."""
+    return TileGrid(
+        shape=shape,
+        geometry=geometry,
+        m_tiles=math.ceil(shape.m / geometry.m0),
+        n_tiles=math.ceil(shape.n / geometry.n0),
+        t_steps=math.ceil(shape.k / geometry.k0),
+    )

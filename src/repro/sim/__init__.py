@@ -1,0 +1,56 @@
+"""Cycle-level performance model of the Griffin borrowing architectures.
+
+The simulator follows the paper's methodology (Sec. V): tensor blocks are
+lowered to blocked nonzero masks, weight (B) blocks are preprocessed into a
+compressed schedule, activation (A) zeros are skipped on the fly, and the
+number of cycles per block follows the borrowing strategy of the configured
+architecture, including stalls from output synchronization, SRAM bank
+conflicts, and ABUF/BBUF fullness.
+"""
+
+from repro.sim.compaction import CompactionResult, compact_schedule, compact_schedule_reference
+from repro.sim.shuffle import rotation_shuffle
+from repro.sim.dual import dual_sparse_cycles
+from repro.sim.preprocess import CompressedWeights, expand, preprocess_weights
+from repro.sim.functional import (
+    FunctionalResult,
+    dense_reference,
+    execute_activation_sparse,
+    execute_dual_sparse,
+    execute_weight_sparse,
+)
+from repro.sim.engine import (
+    LayerSimResult,
+    NetworkSimResult,
+    SimulationOptions,
+    TileResult,
+    simulate_layer,
+    simulate_network,
+    simulate_tile,
+)
+from repro.sim.analytical import analytical_speedup, analytical_tile_cycles
+
+__all__ = [
+    "CompactionResult",
+    "compact_schedule",
+    "compact_schedule_reference",
+    "rotation_shuffle",
+    "dual_sparse_cycles",
+    "CompressedWeights",
+    "preprocess_weights",
+    "expand",
+    "FunctionalResult",
+    "dense_reference",
+    "execute_weight_sparse",
+    "execute_activation_sparse",
+    "execute_dual_sparse",
+    "simulate_tile",
+    "simulate_layer",
+    "simulate_network",
+    "SimulationOptions",
+    "TileResult",
+    "LayerSimResult",
+    "NetworkSimResult",
+    "analytical_speedup",
+    "analytical_tile_cycles",
+]

@@ -1,0 +1,387 @@
+"""Greedy windowed borrow-scheduling of blocked nonzero masks.
+
+This kernel is the performance heart of the reproduction.  A GEMM tile is
+blocked per Figure 1 into ``T`` time steps (K/K0 slices), ``L`` lanes (the
+positions of the K0-wide dot-product unit), and a PE axis.  An effectual
+operation at ``(t, l, c)`` may be *borrowed*: executed early by up to ``d1``
+time steps, by a slot up to ``d2`` lanes away, or by a PE up to ``d3``
+positions away (Definitions III.1 / III.2).
+
+Execution semantics (Sec. 5 of DESIGN.md):
+
+* Each dot-product unit (one ``C1 x C2`` group of ``L`` lanes) follows its
+  own compressed stream with a *front pointer*; the window of reachable
+  positions is ``[f, f + d1]`` and ``f`` advances by at most ``1 + d1`` per
+  cycle (the buffer refill rate), which caps the ideal speedup at ``1 + d1``
+  exactly as the paper states for ``db1``.  Lanes inside a unit share the
+  front (they drain one stream); different units drift within the
+  provisioned ABUF/BBUF -- residual overflow is charged separately by the
+  engine's buffer-fullness stall model.
+* Each output cycle every slot executes at most one remaining effectual op:
+  first from its own stream (earliest first), otherwise from a donor stream
+  at lane offset ``1..d2`` (wrapping inside the dot-product unit) and/or PE
+  offset ``1..d3``, in increasing-distance priority -- the same priority
+  mechanism as Bit-Tactical, which the paper adopts.  Donor reach is
+  evaluated against the *donor's* front.
+* Conflicting claims in a cycle are arbitrated in offset-priority rounds
+  (one claim per donor stream per round), in slot order within a round --
+  modeling a fixed-priority arbiter.
+* A unit is done when all its effectual ops have executed *and* its front
+  has drained past ``T`` (trailing zero slices still stream at window
+  rate); the tile ends when the slowest unit finishes.
+
+Masks are 4-D ``[T, L, C1, C2]``: lane borrowing (``d2``) acts along ``L``,
+PE borrowing (``d3``) along ``C1``, and ``C2`` indexes independent slot
+groups with no borrowing between them (used by the dual-sparse second phase,
+where ``C1`` is the output-row axis and ``C2`` the output-column axis).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+_INF = np.iinfo(np.int64).max // 2
+
+
+@dataclass(frozen=True)
+class CompactionResult:
+    """Outcome of scheduling one tile.
+
+    ``cycles`` counts every output cycle including the trailing drain of the
+    slowest unit.  ``busy_cycles`` counts cycles in which at least one op
+    executed.  ``schedule`` (optional) maps ``[cycle, slot] -> flat original
+    index`` into the ``(T, L, C1, C2)`` mask (or -1 for an idle slot); it
+    stops at the last cycle that executed work.  ``borrowed_ops`` counts ops
+    executed by a slot other than their own.
+    """
+
+    cycles: int
+    busy_cycles: int
+    executed_ops: int
+    borrowed_ops: int
+    schedule: np.ndarray | None = None
+
+    @property
+    def occupancy(self) -> float:
+        """Executed ops per slot-cycle over the whole tile (utilization)."""
+        if self.cycles == 0:
+            return 0.0
+        return self.executed_ops / self.cycles
+
+
+def _offset_priority(d2: int, d3: int) -> list[tuple[int, int]]:
+    """Donor offsets (excluding the own stream) in borrowing priority order."""
+    offsets = [
+        (dd2, dd3)
+        for dd2 in range(d2 + 1)
+        for dd3 in range(d3 + 1)
+        if (dd2, dd3) != (0, 0)
+    ]
+    offsets.sort(key=lambda o: (o[0] + o[1], o[0], o[1]))
+    return offsets
+
+
+def _check_mask(mask: np.ndarray) -> np.ndarray:
+    mask = np.asarray(mask)
+    if mask.ndim == 3:
+        mask = mask[:, :, :, np.newaxis]
+    if mask.ndim != 4:
+        raise ValueError(f"mask must be 3-D or 4-D [T, L, C1(, C2)], got shape {mask.shape}")
+    return mask.astype(bool)
+
+
+def compact_schedule_reference(
+    mask: np.ndarray,
+    d1: int = 0,
+    d2: int = 0,
+    d3: int = 0,
+    lane_wrap: bool = True,
+    front_mode: str = "stream",
+) -> CompactionResult:
+    """Obviously-correct pure-Python scheduler used as a test oracle.
+
+    Mirrors :func:`compact_schedule` exactly but iterates slots and donors
+    element by element.  Use only on small tiles.
+    """
+    mask = _check_mask(mask)
+    t_steps, lanes, c1, c2 = mask.shape
+    window = 1 + d1
+    offsets = _offset_priority(d2, d3)
+    if front_mode == "stream":
+        def group_key(l: int, i: int, j: int) -> tuple:
+            return (l, i, j)
+    elif front_mode == "unit":
+        def group_key(l: int, i: int, j: int) -> tuple:
+            return (i, j)
+    elif front_mode == "tile":
+        def group_key(l: int, i: int, j: int) -> tuple:
+            return ()
+    else:
+        raise ValueError(f"unknown front_mode {front_mode!r}")
+    groups = sorted({group_key(l, i, j) for l in range(lanes) for i in range(c1) for j in range(c2)})
+
+    remaining = {
+        (t, l, i, j)
+        for t in range(t_steps)
+        for l in range(lanes)
+        for i in range(c1)
+        for j in range(c2)
+        if mask[t, l, i, j]
+    }
+
+    def group_earliest(g: tuple) -> int:
+        return min((t for (t, l, i, j) in remaining if group_key(l, i, j) == g), default=_INF)
+
+    def earliest_in_window(l: int, i: int, j: int, front: int) -> tuple | None:
+        for t in range(front, min(front + window, t_steps)):
+            if (t, l, i, j) in remaining:
+                return (t, l, i, j)
+        return None
+
+    fronts = {g: 0 for g in groups}
+    cycles = 0
+    busy_cycles = 0
+    borrowed = 0
+    executed = 0
+    while True:
+        if not remaining:
+            tail = max(
+                int(np.ceil((t_steps - fronts[g]) / window)) if fronts[g] < t_steps else 0
+                for g in groups
+            )
+            cycles += tail
+            break
+        cycles += 1
+        cycle_busy = False
+        all_slots = [(l, i, j) for l in range(lanes) for i in range(c1) for j in range(c2)]
+
+        # Phase 1: every slot claims the earliest element of its own stream.
+        idle = []
+        for l, i, j in all_slots:
+            pick = earliest_in_window(l, i, j, fronts[group_key(l, i, j)])
+            if pick is not None:
+                remaining.discard(pick)
+                executed += 1
+                cycle_busy = True
+            else:
+                idle.append((l, i, j))
+
+        # Phase 2: offset rounds in priority order; one claim per donor per
+        # round, arbitrated in slot order.  Donor reach uses the donor's
+        # own front.
+        for dd2, dd3 in offsets:
+            claimed_donors: set[tuple[int, int, int]] = set()
+            still_idle = []
+            for l, i, j in idle:
+                donor_l = (l + dd2) % lanes if lane_wrap else l + dd2
+                donor_i = i + dd3
+                donor = (donor_l, donor_i, j)
+                pick = None
+                if donor_l < lanes and donor_i < c1 and donor not in claimed_donors:
+                    pick = earliest_in_window(donor_l, donor_i, j, fronts[group_key(donor_l, donor_i, j)])
+                if pick is not None:
+                    claimed_donors.add(donor)
+                    remaining.discard(pick)
+                    executed += 1
+                    borrowed += 1
+                    cycle_busy = True
+                else:
+                    still_idle.append((l, i, j))
+            idle = still_idle
+        if cycle_busy:
+            busy_cycles += 1
+        for g in groups:
+            fronts[g] = min(group_earliest(g), fronts[g] + window)
+
+    return CompactionResult(
+        cycles=cycles,
+        busy_cycles=busy_cycles,
+        executed_ops=executed,
+        borrowed_ops=borrowed,
+    )
+
+
+def compact_schedule(
+    mask: np.ndarray,
+    d1: int = 0,
+    d2: int = 0,
+    d3: int = 0,
+    lane_wrap: bool = True,
+    return_schedule: bool = False,
+    front_mode: str = "stream",
+) -> CompactionResult:
+    """Schedule a tile mask under borrowing distances ``(d1, d2, d3)``.
+
+    See the module docstring for the execution semantics.  Matches
+    :func:`compact_schedule_reference` cycle for cycle; vectorized over
+    slots so tiles of practical size run in milliseconds.
+
+    Args:
+        mask: boolean effectual-op mask, shape ``[T, L, C1]`` or
+            ``[T, L, C1, C2]``.
+        d1: time lookahead (window depth ``1 + d1``).
+        d2: lane lookaside distance (along ``L``).
+        d3: neighbouring-PE distance (along ``C1``).
+        lane_wrap: whether lane borrowing wraps around inside the
+            dot-product unit (the rotation shuffler implies a ring).
+        return_schedule: also record which original op each slot executed
+            each cycle (needed by the dual-sparse preprocessing phase).
+
+    Returns:
+        A :class:`CompactionResult`.
+    """
+    mask = _check_mask(mask)
+    t_steps, lanes, c1, c2 = mask.shape
+    window = 1 + d1
+    n_groups = c1 * c2
+    n_slots = lanes * n_groups
+
+    if t_steps == 0 or n_slots == 0:
+        return CompactionResult(0, 0, 0, 0, schedule=np.empty((0, n_slots), np.int64))
+
+    # Per-stream sorted effectual positions, padded with _INF.
+    flat = mask.reshape(t_steps, n_slots)
+    counts = flat.sum(axis=0)
+    max_nnz = int(counts.max()) if n_slots else 0
+    positions = np.full((n_slots, max_nnz + 1), _INF, dtype=np.int64)
+    t_idx, s_idx = np.nonzero(flat)
+    order = np.lexsort((t_idx, s_idx))
+    s_sorted = s_idx[order]
+    t_sorted = t_idx[order]
+    if len(t_sorted):
+        rank = np.concatenate([np.arange(c) for c in counts])
+        positions[s_sorted, rank] = t_sorted
+
+    ptr = np.zeros(n_slots, dtype=np.int64)
+    slot_ids = np.arange(n_slots)
+    next_pos = positions[slot_ids, ptr]
+    total_ops = int(counts.sum())
+
+    # Front-pointer granularity: per stream (default -- each lane stream
+    # slides its own banked fetch window), per dot-product unit, or one
+    # tile-wide front (ablation modes).
+    if front_mode == "stream":
+        group_of = slot_ids.copy()
+        n_fronts = n_slots
+    elif front_mode == "unit":
+        group_of = slot_ids % n_groups
+        n_fronts = n_groups
+    elif front_mode == "tile":
+        group_of = np.zeros(n_slots, dtype=np.int64)
+        n_fronts = 1
+    else:
+        raise ValueError(f"unknown front_mode {front_mode!r}")
+    fronts = np.zeros(n_fronts, dtype=np.int64)
+
+    # Donor stream index per slot for each offset (or -1 when out of range).
+    offsets = _offset_priority(d2, d3)
+    lane_of = slot_ids // n_groups
+    c1_of = (slot_ids // c2) % c1
+    c2_of = slot_ids % c2
+    donor_maps = []
+    for dd2, dd3 in offsets:
+        donor_lane = (lane_of + dd2) % lanes if lane_wrap else lane_of + dd2
+        donor_c1 = c1_of + dd3
+        valid = (donor_lane < lanes) & (donor_c1 < c1)
+        donor = np.where(valid, donor_lane * n_groups + donor_c1 * c2 + c2_of, -1)
+        donor_maps.append(donor)
+
+    record = return_schedule
+    schedule_rows: list[np.ndarray] = []
+
+    cycles = 0
+    busy_cycles = 0
+    borrowed = 0
+    executed = 0
+    while True:
+        if executed == total_ops:
+            behind = fronts < t_steps
+            if behind.any():
+                tails = np.ceil((t_steps - fronts[behind]) / window).astype(np.int64)
+                cycles += int(tails.max())
+            break
+        cycles += 1
+        executed_before = executed
+        limit = fronts[group_of] + d1
+        row = np.full(n_slots, -1, dtype=np.int64) if record else None
+
+        # Phase 1: every slot claims the earliest remaining op of its own
+        # stream that lies inside its unit's window.
+        own = next_pos <= limit
+        if own.any():
+            own_slots = slot_ids[own]
+            if record:
+                row[own_slots] = next_pos[own_slots] * n_slots + own_slots
+            executed += len(own_slots)
+            ptr[own_slots] += 1
+            next_pos[own_slots] = positions[own_slots, ptr[own_slots]]
+        idle = ~own
+
+        # Phase 2: idle slots borrow, one donor claim per offset round,
+        # arbitrated in slot order (np.unique keeps the first claimant).
+        # Donor availability is judged against the donor's own front.
+        for donor in donor_maps:
+            if not idle.any():
+                break
+            cand = idle & (donor >= 0)
+            if not cand.any():
+                continue
+            cand_slots = slot_ids[cand]
+            cand_donors = donor[cand]
+            cand_ok = next_pos[cand_donors] <= fronts[group_of[cand_donors]] + d1
+            cand_slots = cand_slots[cand_ok]
+            cand_donors = cand_donors[cand_ok]
+            if len(cand_slots) == 0:
+                continue
+            _, first = np.unique(cand_donors, return_index=True)
+            win_slots = cand_slots[first]
+            win_donors = cand_donors[first]
+            if record:
+                row[win_slots] = next_pos[win_donors] * n_slots + win_donors
+            executed += len(win_slots)
+            borrowed += len(win_slots)
+            ptr[win_donors] += 1
+            next_pos[win_donors] = positions[win_donors, ptr[win_donors]]
+            idle[win_slots] = False
+
+        if record:
+            schedule_rows.append(row)
+        if executed > executed_before:
+            busy_cycles += 1
+
+        # Per-group front advance: up to the group's earliest unexecuted op,
+        # capped at one window of refill per cycle.
+        earliest = np.full(n_fronts, _INF, dtype=np.int64)
+        np.minimum.at(earliest, group_of, next_pos)
+        fronts = np.minimum(earliest, fronts + window)
+
+    schedule = np.array(schedule_rows, dtype=np.int64) if record else None
+    return CompactionResult(
+        cycles=cycles,
+        busy_cycles=busy_cycles,
+        executed_ops=executed,
+        borrowed_ops=borrowed,
+        schedule=schedule,
+    )
+
+
+def unpack_schedule(
+    schedule: np.ndarray, shape: tuple[int, int, int, int]
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Split flat schedule entries back into ``(t, l, c1, c2)`` coordinates.
+
+    Entries of -1 (idle) map to coordinate -1 in every component.
+    """
+    t_steps, lanes, c1, c2 = shape
+    n_slots = lanes * c1 * c2
+    idle = schedule < 0
+    t = schedule // n_slots
+    stream = schedule % n_slots
+    lane = stream // (c1 * c2)
+    i1 = (stream // c2) % c1
+    i2 = stream % c2
+    for arr in (t, lane, i1, i2):
+        arr[idle] = -1
+    return t, lane, i1, i2

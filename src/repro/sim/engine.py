@@ -1,0 +1,413 @@
+"""End-to-end cycle simulation of networks on borrowing architectures.
+
+The engine follows the paper's methodology (Sec. V): every layer is lowered
+to GEMMs and blocked onto the core (Figure 1); weight blocks are
+preprocessed and activation blocks skipped on the fly per the configured
+borrowing distances; cycles per block include stalls from output
+synchronization, SRAM bank conflicts and buffer fullness; end-to-end latency
+sums the blocks.
+
+Because repeated passes of one GEMM are statistically identical, the engine
+samples a configurable number of passes per GEMM (including edge passes)
+and extrapolates -- the same block-sampling the paper's own
+PyTorch-fed simulator performs.  Everything is deterministic in the option
+seed, and layer results are memoized on the full simulation key.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
+
+from repro.config import ArchConfig, ModelCategory, sparse_a, sparse_b
+from repro.core.overhead import overhead_of
+from repro.gemm.layers import GemmShape
+from repro.gemm.tiling import TileGrid, tile_grid
+from repro.memory.dram import dram_stall_factor, layer_traffic_bytes
+from repro.memory.sram import SramModel
+from repro.sim.compaction import compact_schedule
+from repro.sim.dual import dual_sparse_cycles
+from repro.sim.shuffle import rotation_shuffle
+from repro.workloads.models import Network, NetworkLayer, RawGemmSpec
+from repro.workloads.sparsity import (
+    SparsityProfile,
+    act_profile,
+    activation_tile_mask,
+    sample_act_field,
+    sample_weight_field,
+    weight_profile,
+    weight_tile_mask,
+)
+
+
+@dataclass(frozen=True)
+class SimulationOptions:
+    """Sampling and stall-modeling knobs.
+
+    ``passes_per_gemm`` output tiles are simulated per GEMM (edge tiles are
+    sampled with their natural probability); K dimensions longer than
+    ``max_t_steps`` time steps are sampled as segments and scaled.
+    ``pipeline_drain`` models the output-synchronization flush between
+    passes of a sparse run (capped at a quarter of the tile's depth so
+    shallow tiles are not swamped).  ``include_dram`` enables the off-chip
+    bandwidth check; the paper provisions 50 GB/s precisely so DRAM never
+    throttles (Sec. V), so it is off by default and available for ablation.
+    """
+
+    passes_per_gemm: int = 6
+    max_t_steps: int = 128
+    seed: int = 2022
+    pipeline_drain: int = 2
+    include_stalls: bool = True
+    include_dram: bool = False
+
+    def __post_init__(self) -> None:
+        if self.passes_per_gemm < 1:
+            raise ValueError("passes_per_gemm must be >= 1")
+        if self.max_t_steps < 4:
+            raise ValueError("max_t_steps must be >= 4")
+
+
+@dataclass(frozen=True)
+class TileResult:
+    """Cycles for one output tile (pass)."""
+
+    cycles: int
+    dense_cycles: int
+    executed_ops: int
+    borrowed_ops: int
+
+    @property
+    def speedup(self) -> float:
+        return self.dense_cycles / self.cycles if self.cycles else 1.0
+
+
+@dataclass(frozen=True)
+class GemmSimResult:
+    """Extrapolated result for one GEMM (all passes, all repeats)."""
+
+    shape: GemmShape
+    cycles: float
+    dense_cycles: int
+    sampled_passes: int
+
+    @property
+    def speedup(self) -> float:
+        return self.dense_cycles / self.cycles if self.cycles else 1.0
+
+
+@dataclass(frozen=True)
+class LayerSimResult:
+    """Simulated cycles for one network layer."""
+
+    name: str
+    cycles: float
+    dense_cycles: int
+    gemms: tuple[GemmSimResult, ...]
+
+    @property
+    def speedup(self) -> float:
+        return self.dense_cycles / self.cycles if self.cycles else 1.0
+
+
+@dataclass(frozen=True)
+class NetworkSimResult:
+    """End-to-end latency of a network on an architecture."""
+
+    network: str
+    config: str
+    category: ModelCategory
+    cycles: float
+    dense_cycles: int
+    layers: tuple[LayerSimResult, ...]
+
+    @property
+    def speedup(self) -> float:
+        return self.dense_cycles / self.cycles if self.cycles else 1.0
+
+
+def simulate_tile(
+    config: ArchConfig,
+    a_mask: np.ndarray | None = None,
+    b_mask: np.ndarray | None = None,
+    t_steps: int | None = None,
+) -> TileResult:
+    """Schedule one output tile.
+
+    Pass the activation mask ``[T, L, M]`` and/or weight mask ``[T, L, N]``
+    for the sides the architecture should skip; a missing side is treated
+    as dense.  With both masks the dual-sparse seven-step pipeline runs;
+    with one, the corresponding single-sparse compaction; with none, the
+    tile costs exactly ``T`` dense cycles.
+    """
+    if t_steps is None:
+        source = a_mask if a_mask is not None else b_mask
+        if source is None:
+            raise ValueError("t_steps is required when no mask is given")
+        t_steps = source.shape[0]
+
+    if config.shuffle:
+        if a_mask is not None:
+            a_mask = rotation_shuffle(a_mask)
+        if b_mask is not None:
+            b_mask = rotation_shuffle(b_mask)
+
+    if a_mask is not None and b_mask is not None:
+        dual = dual_sparse_cycles(a_mask, b_mask, config)
+        return TileResult(dual.cycles, t_steps, dual.executed_pairs, dual.borrowed_ops)
+    if b_mask is not None:
+        res = compact_schedule(b_mask, *config.b.as_tuple())
+        return TileResult(res.cycles, t_steps, res.executed_ops, res.borrowed_ops)
+    if a_mask is not None:
+        res = compact_schedule(a_mask, *config.a.as_tuple())
+        return TileResult(res.cycles, t_steps, res.executed_ops, res.borrowed_ops)
+    return TileResult(t_steps, t_steps, 0, 0)
+
+
+def _layer_seed(*parts: object) -> int:
+    digest = hashlib.sha256("|".join(str(p) for p in parts).encode()).digest()
+    return int.from_bytes(digest[:8], "little")
+
+
+@dataclass(frozen=True)
+class _GemmSparsity:
+    """Which sides of one GEMM the simulation should treat as sparse."""
+
+    weights: SparsityProfile | None
+    activations: SparsityProfile | None
+
+    @property
+    def any(self) -> bool:
+        return self.weights is not None or self.activations is not None
+
+
+def _effective_sparsity(
+    gemm: GemmShape,
+    layer: NetworkLayer,
+    config: ArchConfig,
+    category: ModelCategory,
+) -> _GemmSparsity:
+    """Combine model category, tensor properties and datapath support."""
+    w_density = layer.weight_density if (
+        category.weights_sparse and not gemm.weight_is_dynamic
+    ) else 1.0
+    a_density = layer.act_density if category.activations_sparse else 1.0
+    use_b = config.supports_b_sparsity and w_density < 1.0
+    use_a = config.supports_a_sparsity and a_density < 1.0
+    weights = weight_profile(w_density) if use_b else None
+    activations = act_profile(a_density) if use_a else None
+    return _GemmSparsity(weights, activations)
+
+
+def _scheduling_config(config: ArchConfig, sparsity: _GemmSparsity) -> ArchConfig:
+    """The borrowing distances actually exercised on this GEMM.
+
+    A ``Sparse.AB`` datapath running single-sparse data *downgrades*
+    (Table III): with dense A the per-PE pair arbitration degenerates to
+    the preprocessing reach ``Sparse.B(db1, db2, db3)``; with dense B the
+    lane/row coordination is lost, leaving ``Sparse.A(da1, 0, 0)``.
+    """
+    if config.family != "Sparse.AB":
+        return config
+    use_b = sparsity.weights is not None
+    use_a = sparsity.activations is not None
+    if use_b and not use_a:
+        return sparse_b(
+            config.b.d1, config.b.d2, config.b.d3,
+            shuffle=config.shuffle, geometry=config.geometry,
+        )
+    if use_a and not use_b:
+        return sparse_a(
+            config.a.d1, 0, 0, shuffle=config.shuffle, geometry=config.geometry
+        )
+    return config
+
+
+def _simulate_gemm(
+    gemm: GemmShape,
+    layer: NetworkLayer,
+    config: ArchConfig,
+    category: ModelCategory,
+    options: SimulationOptions,
+) -> GemmSimResult:
+    geometry = config.geometry
+    grid = tile_grid(gemm, geometry)
+    sparsity = _effective_sparsity(gemm, layer, config, category)
+    if not sparsity.any:
+        return GemmSimResult(gemm, float(grid.dense_cycles), grid.dense_cycles, 0)
+    sched_config = _scheduling_config(config, sparsity)
+
+    seed = _layer_seed(options.seed, gemm, layer.weight_density, layer.act_density)
+    rng = np.random.default_rng(seed)
+
+    w_field = None
+    if sparsity.weights:
+        w_field = sample_weight_field(
+            rng, sparsity.weights, gemm.k, gemm.n, gemm.k_channels, k0=geometry.k0
+        )
+    a_field = None
+    if sparsity.activations:
+        a_field = sample_act_field(
+            rng, sparsity.activations, gemm.k, gemm.m, gemm.k_channels, k0=geometry.k0
+        )
+
+    n_passes = grid.m_tiles * grid.n_tiles
+    samples = min(options.passes_per_gemm, n_passes)
+    pass_ids = rng.choice(n_passes, size=samples, replace=False)
+
+    full_t = grid.t_steps
+    seg_t = min(full_t, options.max_t_steps)
+    scale_t = full_t / seg_t
+
+    total_cycles = 0.0
+    for pass_id in pass_ids:
+        mi, ni = divmod(int(pass_id), grid.n_tiles)
+        k_start = 0
+        if seg_t < full_t:
+            k_start = int(rng.integers(0, full_t - seg_t + 1)) * geometry.k0
+        a_mask = None
+        b_mask = None
+        if sparsity.weights is not None:
+            b_mask = weight_tile_mask(
+                rng, sparsity.weights, w_field,
+                t_steps=seg_t, k0=geometry.k0,
+                k_offset=k_start, k_total=gemm.k,
+                n_offset=ni * geometry.n0, n_tile=geometry.n0, n_total=gemm.n,
+            )
+        if sparsity.activations is not None:
+            a_mask = activation_tile_mask(
+                rng, sparsity.activations, a_field,
+                t_steps=seg_t, k0=geometry.k0,
+                k_offset=k_start, k_total=gemm.k,
+                m_offset=mi * geometry.m0, m_tile=geometry.m0, m_total=gemm.m,
+            )
+        tile = simulate_tile(sched_config, a_mask=a_mask, b_mask=b_mask, t_steps=seg_t)
+        drain = min(options.pipeline_drain, max(0, seg_t // 4))
+        total_cycles += (tile.cycles + drain) * scale_t
+
+    mean_cycles = total_cycles / samples
+    cycles = mean_cycles * n_passes * gemm.repeats
+    cycles = min(max(cycles, _min_cycles(grid, sched_config)), float(grid.dense_cycles))
+    return GemmSimResult(gemm, cycles, grid.dense_cycles, samples)
+
+
+def _min_cycles(grid: TileGrid, config: ArchConfig) -> float:
+    """Hard floor: the combined window caps speedup at the ABUF depth."""
+    cap = (1 + config.a.d1) * (1 + config.b.d1)
+    return grid.dense_cycles / cap
+
+
+def _apply_stalls(
+    cycles: float,
+    gemm: GemmShape,
+    layer: NetworkLayer,
+    config: ArchConfig,
+    category: ModelCategory,
+    dense_cycles: int,
+    options: SimulationOptions,
+) -> float:
+    """SRAM bank-conflict and DRAM-bandwidth stalls for one GEMM."""
+    geometry = config.geometry
+    speedup = dense_cycles / cycles if cycles else 1.0
+    # Both operand streams advance at the compacted schedule rate, so both
+    # SRAMs are provisioned to the design's ideal speedup (Sec. V).
+    provisioned = float((1 + config.a.d1) * (1 + config.b.d1))
+    sram = SramModel(bw_scale_a=provisioned, bw_scale_b=provisioned)
+    frac = sram.stall_fraction(a_fetch_rate=speedup, b_fetch_rate=speedup)
+    cycles *= 1.0 + frac
+    if options.include_dram:
+        w_density = layer.weight_density if category.weights_sparse else 1.0
+        meta_bits = overhead_of(config).metadata_bits
+        traffic = layer_traffic_bytes(
+            gemm.m, gemm.k, gemm.n, w_density, metadata_bits=meta_bits
+        ) * gemm.repeats
+        cycles *= dram_stall_factor(traffic, cycles, geometry.frequency_mhz)
+    return cycles
+
+
+@lru_cache(maxsize=32768)
+def _simulate_layer_cached(
+    gemms: tuple[GemmShape, ...],
+    weight_density: float,
+    act_density: float,
+    name: str,
+    config: ArchConfig,
+    category: ModelCategory,
+    options: SimulationOptions,
+) -> LayerSimResult:
+    layer = NetworkLayer(
+        spec=RawGemmSpec(name=name, shapes=gemms),
+        weight_density=weight_density,
+        act_density=act_density,
+    )
+    results = []
+    cycles = 0.0
+    dense = 0
+    for gemm in gemms:
+        res = _simulate_gemm(gemm, layer, config, category, options)
+        gemm_cycles = res.cycles
+        if options.include_stalls and gemm_cycles < res.dense_cycles:
+            gemm_cycles = _apply_stalls(
+                gemm_cycles, gemm, layer, config, category, res.dense_cycles, options
+            )
+            gemm_cycles = min(gemm_cycles, float(res.dense_cycles))
+            res = GemmSimResult(gemm, gemm_cycles, res.dense_cycles, res.sampled_passes)
+        results.append(res)
+        cycles += res.cycles
+        dense += res.dense_cycles
+    return LayerSimResult(name=name, cycles=cycles, dense_cycles=dense, gemms=tuple(results))
+
+
+def simulate_layer(
+    layer: NetworkLayer,
+    config: ArchConfig,
+    category: ModelCategory,
+    options: SimulationOptions | None = None,
+) -> LayerSimResult:
+    """Simulate one layer; results are memoized on the full key.
+
+    The cache key deliberately excludes the layer *name*, so topologically
+    repeated blocks (ResNet stages, BERT encoders) simulate once.
+    """
+    options = options or SimulationOptions()
+    return _simulate_layer_cached(
+        tuple(layer.spec.gemms()),
+        layer.weight_density,
+        layer.act_density,
+        "layer",
+        config,
+        category,
+        options,
+    )
+
+
+def simulate_network(
+    network: Network,
+    config: ArchConfig,
+    category: ModelCategory,
+    options: SimulationOptions | None = None,
+) -> NetworkSimResult:
+    """End-to-end latency of a network on an architecture configuration."""
+    options = options or SimulationOptions()
+    layer_results = []
+    cycles = 0.0
+    dense = 0
+    for layer in network.layers:
+        res = simulate_layer(layer, config, category, options)
+        res = LayerSimResult(
+            name=layer.name, cycles=res.cycles, dense_cycles=res.dense_cycles, gemms=res.gemms
+        )
+        layer_results.append(res)
+        cycles += res.cycles
+        dense += res.dense_cycles
+    return NetworkSimResult(
+        network=network.name,
+        config=config.label,
+        category=category,
+        cycles=cycles,
+        dense_cycles=dense,
+        layers=tuple(layer_results),
+    )

@@ -1,0 +1,213 @@
+"""Value-level functional execution of the sparse schedules.
+
+The cycle model works on nonzero masks; this module closes the loop by
+pushing *values* through the same schedules and checking the arithmetic:
+every effectual product must be computed exactly once, by some multiplier,
+and accumulated into the right output -- no matter how far the borrowing
+moved it.  ``C == A @ B`` after scheduled execution is the strongest
+correctness statement the reproduction can make about the borrowing
+semantics (operand routing, metadata provenance, partial-sum return paths).
+
+The functions return both the computed output and the schedule statistics,
+so tests can simultaneously assert numerical equivalence and that the
+functional path took exactly as many cycles as the performance model says.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config import ArchConfig
+from repro.sim.compaction import compact_schedule, unpack_schedule
+from repro.sim.shuffle import rotation_shuffle
+
+
+@dataclass(frozen=True)
+class FunctionalResult:
+    """Output and schedule statistics of one value-level execution."""
+
+    output: np.ndarray  # C[M, N]
+    cycles: int
+    executed_ops: int
+    borrowed_ops: int
+
+
+def _block_operand(values: np.ndarray, k0: int) -> tuple[np.ndarray, int]:
+    """Pad the K axis (last) to a multiple of ``k0`` and report T steps."""
+    k = values.shape[-1]
+    t_steps = -(-k // k0)
+    padded = np.zeros(values.shape[:-1] + (t_steps * k0,), dtype=values.dtype)
+    padded[..., :k] = values
+    return padded, t_steps
+
+
+def dense_reference(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """The answer every scheduled execution must reproduce."""
+    return np.asarray(a, dtype=np.int64) @ np.asarray(b, dtype=np.int64)
+
+
+def execute_weight_sparse(
+    a: np.ndarray, b: np.ndarray, config: ArchConfig
+) -> FunctionalResult:
+    """Run ``C = A @ B`` through the Sparse.B schedule of ``config``.
+
+    ``a`` is ``[M, K]`` (dense activations), ``b`` is ``[K, N]`` (pruned
+    weights).  B's nonzero mask is compacted with the ``db`` distances; each
+    scheduled element's original coordinates select the matching A operand
+    (the AMUX metadata path) and route the product to the element's own
+    output column (the partial-sum return path for ``db3`` borrows).
+    """
+    a = np.asarray(a, dtype=np.int64)
+    b = np.asarray(b, dtype=np.int64)
+    k0 = config.geometry.k0
+    a_blk, t_steps = _block_operand(a, k0)
+    b_blk, _ = _block_operand(b.T, k0)  # [N, K_pad]
+    n_dim = b.shape[1]
+
+    mask = (b_blk != 0).reshape(n_dim, t_steps, k0).transpose(1, 2, 0)  # [T, L, N]
+    if config.shuffle:
+        mask = rotation_shuffle(mask)
+    result = compact_schedule(
+        mask, *config.b.as_tuple(), return_schedule=True
+    )
+    out = np.zeros((a.shape[0], n_dim), dtype=np.int64)
+    schedule = result.schedule
+    if schedule is not None and schedule.size:
+        t_src, l_src, n_src, _ = unpack_schedule(
+            schedule.copy(), (t_steps, k0, n_dim, 1)
+        )
+        ok = schedule >= 0
+        if config.shuffle:
+            # Undo the rotation to recover original blocked coordinates.
+            l_src = np.where(ok, (l_src + t_src) % k0, l_src)
+        k_src = t_src * k0 + l_src
+        for kk, nn in zip(k_src[ok], n_src[ok]):
+            out[:, nn] += a_blk[:, kk] * b_blk[nn, kk]
+    return FunctionalResult(
+        output=out,
+        cycles=result.cycles,
+        executed_ops=result.executed_ops,
+        borrowed_ops=result.borrowed_ops,
+    )
+
+
+def execute_activation_sparse(
+    a: np.ndarray, b: np.ndarray, config: ArchConfig
+) -> FunctionalResult:
+    """Run ``C = A @ B`` through the Sparse.A schedule of ``config``.
+
+    A's zeros are skipped on the fly with the ``da`` distances; every
+    executed element multiplies the matching B operand (BMUX) for every
+    output column and lands in its own output row (the ``da3`` adder-tree
+    return path).
+    """
+    a = np.asarray(a, dtype=np.int64)
+    b = np.asarray(b, dtype=np.int64)
+    k0 = config.geometry.k0
+    a_blk, t_steps = _block_operand(a, k0)  # [M, K_pad]
+    b_blk, _ = _block_operand(b.T, k0)  # [N, K_pad]
+    m_dim = a.shape[0]
+
+    mask = (a_blk != 0).reshape(m_dim, t_steps, k0).transpose(1, 2, 0)  # [T, L, M]
+    if config.shuffle:
+        mask = rotation_shuffle(mask)
+    result = compact_schedule(mask, *config.a.as_tuple(), return_schedule=True)
+    out = np.zeros((m_dim, b.shape[1]), dtype=np.int64)
+    schedule = result.schedule
+    if schedule is not None and schedule.size:
+        t_src, l_src, m_src, _ = unpack_schedule(
+            schedule.copy(), (t_steps, k0, m_dim, 1)
+        )
+        ok = schedule >= 0
+        if config.shuffle:
+            l_src = np.where(ok, (l_src + t_src) % k0, l_src)
+        k_src = t_src * k0 + l_src
+        for kk, mm in zip(k_src[ok], m_src[ok]):
+            out[mm, :] += a_blk[mm, kk] * b_blk[:, kk]
+    return FunctionalResult(
+        output=out,
+        cycles=result.cycles,
+        executed_ops=result.executed_ops,
+        borrowed_ops=result.borrowed_ops,
+    )
+
+
+def execute_dual_sparse(
+    a: np.ndarray, b: np.ndarray, config: ArchConfig
+) -> FunctionalResult:
+    """Run ``C = A @ B`` through the dual-sparse seven-step pipeline.
+
+    Phase 1 compresses B offline; phase 2 arbitrates (A, B) pairs over the
+    compressed steps per PE.  Every surviving pair's product accumulates
+    into the output position of its *original* coordinates regardless of
+    which PE executed it.
+    """
+    a = np.asarray(a, dtype=np.int64)
+    b = np.asarray(b, dtype=np.int64)
+    k0 = config.geometry.k0
+    a_blk, t_steps = _block_operand(a, k0)
+    b_blk, _ = _block_operand(b.T, k0)
+    m_dim, n_dim = a.shape[0], b.shape[1]
+
+    b_mask = (b_blk != 0).reshape(n_dim, t_steps, k0).transpose(1, 2, 0)
+    a_mask3 = (a_blk != 0).reshape(m_dim, t_steps, k0).transpose(1, 2, 0)  # [T, L, M]
+    if config.shuffle:
+        b_mask = rotation_shuffle(b_mask)
+        a_mask3 = rotation_shuffle(a_mask3)
+
+    # Phase 1: offline B compression with provenance.
+    phase1 = compact_schedule(
+        b_mask[:, :, :, np.newaxis], *config.b.as_tuple(), return_schedule=True
+    )
+    sched1 = phase1.schedule
+    if sched1 is None or not sched1.size:
+        return FunctionalResult(
+            output=np.zeros((m_dim, n_dim), dtype=np.int64),
+            cycles=phase1.cycles,
+            executed_ops=0,
+            borrowed_ops=0,
+        )
+    tb, lb, nb, _ = unpack_schedule(sched1.copy(), (t_steps, k0, n_dim, 1))
+    u_steps = sched1.shape[0]
+    tb = tb.reshape(u_steps, k0, n_dim)
+    lb = lb.reshape(u_steps, k0, n_dim)
+    nb = nb.reshape(u_steps, k0, n_dim)
+    occupied = tb >= 0
+
+    # Phase 2 mask: a pair survives when the A element at B's original
+    # coordinates is nonzero (in the shuffled frame A and B line up).
+    tb_safe = np.where(occupied, tb, 0)
+    lb_safe = np.where(occupied, lb, 0)
+    paired = a_mask3[tb_safe, lb_safe]  # [U, L, N slots..., M]
+    paired &= occupied[..., np.newaxis]
+    pair_mask = paired.transpose(0, 1, 3, 2)  # [U, L, M, N]
+    if phase1.cycles > u_steps:
+        tail = np.zeros((phase1.cycles - u_steps,) + pair_mask.shape[1:], dtype=bool)
+        pair_mask = np.concatenate([pair_mask, tail], axis=0)
+
+    phase2 = compact_schedule(pair_mask, *config.a.as_tuple(), return_schedule=True)
+    out = np.zeros((m_dim, n_dim), dtype=np.int64)
+    sched2 = phase2.schedule
+    if sched2 is not None and sched2.size:
+        u_src, l_src, m_src, n_src = unpack_schedule(
+            sched2.copy(), (pair_mask.shape[0], k0, m_dim, n_dim)
+        )
+        ok = sched2 >= 0
+        for uu, ll, mm, nn in zip(u_src[ok], l_src[ok], m_src[ok], n_src[ok]):
+            t_orig = tb[uu, ll, nn]
+            l_orig = lb[uu, ll, nn]
+            n_orig = nb[uu, ll, nn]
+            if config.shuffle:
+                l_unrot = (l_orig + t_orig) % k0
+            else:
+                l_unrot = l_orig
+            kk = t_orig * k0 + l_unrot
+            out[mm, n_orig] += a_blk[mm, kk] * b_blk[n_orig, kk]
+    return FunctionalResult(
+        output=out,
+        cycles=phase2.cycles,
+        executed_ops=phase2.executed_ops,
+        borrowed_ops=phase2.borrowed_ops,
+    )

@@ -1,0 +1,149 @@
+"""Offline weight preprocessing: compressed stream + metadata (Fig. 3 step 1).
+
+Matrix B is known before execution, so zero entries are replaced by nonzero
+entries borrowed from up to ``(db1, db2, db3)`` away and the result is
+stored *compressed* in BSRAM: per scheduled slot, the element's value
+position plus a metadata word that tells the AMUX which ABUF entry holds
+the matching A operand (and, when ``db3 > 0``, whether the partial product
+must detour through the extra adder tree to a neighbouring accumulator).
+
+This module materializes that artifact bit-exactly:
+
+* :func:`preprocess_weights` turns a weight tile mask into a
+  :class:`CompressedWeights` stream whose metadata widths follow the
+  overhead model (3 bits for ``B(2,0,1)``, Table III);
+* :func:`expand` reconstructs which original element every slot executes,
+  so tests can prove the encoding is lossless;
+* the storage accounting (values + metadata bits) feeds the DRAM/SRAM
+  traffic model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config import ArchConfig
+from repro.core.overhead import overhead_of
+from repro.sim.compaction import compact_schedule, unpack_schedule
+
+
+@dataclass(frozen=True)
+class CompressedWeights:
+    """The preprocessed form of one weight tile.
+
+    ``slots[u, l, n]`` holds the original time-step of the element executed
+    by lane ``l`` of column ``n`` at compressed step ``u`` (or -1 for an
+    idle slot); ``lane_offset`` / ``col_offset`` are the borrowing
+    displacements (``delta2``/``delta3``); ``tree_flag`` marks ops whose
+    partial sum returns through the extra adder tree.  ``metadata_bits`` is
+    the per-element width implied by the architecture's AMUX fan-in.
+    """
+
+    shape: tuple[int, int, int]  # original (T, L, N)
+    slots: np.ndarray  # [U, L, N] original time step or -1
+    lane_offset: np.ndarray  # [U, L, N] delta2 (0 when idle)
+    col_offset: np.ndarray  # [U, L, N] delta3 (0 when idle)
+    metadata_bits: int
+
+    @property
+    def steps(self) -> int:
+        return self.slots.shape[0]
+
+    @property
+    def nonzeros(self) -> int:
+        return int((self.slots >= 0).sum())
+
+    @property
+    def tree_flag(self) -> np.ndarray:
+        """Ops executing in a neighbour PE's multiplier (Fig. 2(b))."""
+        return self.col_offset > 0
+
+    @property
+    def storage_bits(self) -> int:
+        """Compressed footprint: 8-bit values + metadata per nonzero."""
+        return self.nonzeros * (8 + self.metadata_bits)
+
+    @property
+    def dense_storage_bits(self) -> int:
+        t, l, n = self.shape
+        return t * l * n * 8
+
+    @property
+    def compression_ratio(self) -> float:
+        """Dense bits over compressed bits (> 1 when pruning wins)."""
+        if self.storage_bits == 0:
+            return float("inf")
+        return self.dense_storage_bits / self.storage_bits
+
+
+def preprocess_weights(b_mask: np.ndarray, config: ArchConfig) -> CompressedWeights:
+    """Compress a weight tile mask ``[T, L, N]`` for a Sparse.B datapath.
+
+    Runs the same borrow scheduler the runtime model uses (preprocessing is
+    exactly a static execution of it) and re-expresses the schedule as the
+    per-slot displacement metadata the hardware would store.
+    """
+    b_mask = np.asarray(b_mask, dtype=bool)
+    if b_mask.ndim != 3:
+        raise ValueError(f"weight mask must be [T, L, N], got shape {b_mask.shape}")
+    if not config.supports_b_sparsity:
+        raise ValueError(f"{config.label} does not preprocess weights (no db borrowing)")
+    t_steps, lanes, n_dim = b_mask.shape
+    result = compact_schedule(
+        b_mask[:, :, :, np.newaxis], *config.b.as_tuple(), return_schedule=True
+    )
+    schedule = result.schedule
+    if schedule is None or schedule.size == 0:
+        empty = np.full((result.cycles, lanes, n_dim), -1, dtype=np.int64)
+        zeros = np.zeros_like(empty)
+        return CompressedWeights(
+            shape=(t_steps, lanes, n_dim),
+            slots=empty,
+            lane_offset=zeros,
+            col_offset=zeros,
+            metadata_bits=overhead_of(config).metadata_bits,
+        )
+    u_steps = schedule.shape[0]
+    t_orig, l_orig, n_orig, _ = unpack_schedule(
+        schedule.copy(), (t_steps, lanes, n_dim, 1)
+    )
+    slots = t_orig.reshape(u_steps, lanes, n_dim)
+    src_lane = l_orig.reshape(u_steps, lanes, n_dim)
+    src_col = n_orig.reshape(u_steps, lanes, n_dim)
+    occupied = slots >= 0
+    lane_idx = np.arange(lanes)[None, :, None]
+    col_idx = np.arange(n_dim)[None, None, :]
+    lane_offset = np.where(occupied, (src_lane - lane_idx) % lanes, 0)
+    col_offset = np.where(occupied, src_col - col_idx, 0)
+    return CompressedWeights(
+        shape=(t_steps, lanes, n_dim),
+        slots=slots,
+        lane_offset=lane_offset,
+        col_offset=col_offset,
+        metadata_bits=overhead_of(config).metadata_bits,
+    )
+
+
+def expand(compressed: CompressedWeights) -> np.ndarray:
+    """Reconstruct the original nonzero mask from the compressed stream.
+
+    The inverse of :func:`preprocess_weights`: every scheduled slot's
+    ``(original step, source lane, source column)`` marks one original
+    nonzero.  Lossless compression means this equals the input mask.
+    """
+    t_steps, lanes, n_dim = compressed.shape
+    mask = np.zeros((t_steps, lanes, n_dim), dtype=bool)
+    u_steps = compressed.steps
+    slot_lane = np.broadcast_to(np.arange(lanes)[None, :, None], compressed.slots.shape)
+    slot_col = np.broadcast_to(np.arange(n_dim)[None, None, :], compressed.slots.shape)
+    occupied = compressed.slots >= 0
+    src_lane = (slot_lane + compressed.lane_offset) % lanes
+    src_col = slot_col + compressed.col_offset
+    mask[
+        compressed.slots[occupied],
+        src_lane[occupied],
+        src_col[occupied],
+    ] = True
+    return mask

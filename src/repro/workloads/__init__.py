@@ -1,0 +1,50 @@
+"""Benchmark workloads: the six Table IV networks and sparsity synthesis."""
+
+from repro.workloads.sparsity import (
+    SparsityProfile,
+    LayerSparsity,
+    act_profile,
+    activation_tile_mask,
+    channel_factors,
+    sample_act_field,
+    sample_weight_field,
+    weight_profile,
+    weight_tile_mask,
+)
+from repro.workloads.models import (
+    Network,
+    NetworkLayer,
+    alexnet,
+    bert_base,
+    googlenet,
+    inception_v3,
+    mobilenet_v2,
+    relu_transformer,
+    resnet50,
+)
+from repro.workloads.registry import BENCHMARKS, BenchmarkInfo, benchmark, benchmark_names
+
+__all__ = [
+    "SparsityProfile",
+    "LayerSparsity",
+    "act_profile",
+    "weight_profile",
+    "channel_factors",
+    "sample_weight_field",
+    "sample_act_field",
+    "weight_tile_mask",
+    "activation_tile_mask",
+    "Network",
+    "NetworkLayer",
+    "alexnet",
+    "googlenet",
+    "resnet50",
+    "inception_v3",
+    "mobilenet_v2",
+    "bert_base",
+    "relu_transformer",
+    "BENCHMARKS",
+    "BenchmarkInfo",
+    "benchmark",
+    "benchmark_names",
+]

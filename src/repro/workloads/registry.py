@@ -1,0 +1,77 @@
+"""The Table IV benchmark registry.
+
+Maps each benchmark to its network definition and the published reference
+numbers (sparsity ratios, accuracy, dense-baseline latency in cycles) so the
+Table IV reproduction bench can print paper-vs-measured side by side.
+
+Per Table I, every benchmark participates in the model categories its
+tensors support: all six in ``DNN.dense`` and ``DNN.B``; the five CNNs in
+``DNN.A`` and ``DNN.AB`` (BERT's GeLU keeps activations dense -- Table IV
+lists its activation sparsity as 0%, so it cannot exercise A-side skipping).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.config import ModelCategory
+from repro.workloads.models import (
+    Network,
+    alexnet,
+    bert_base,
+    googlenet,
+    inception_v3,
+    mobilenet_v2,
+    resnet50,
+)
+
+
+@dataclass(frozen=True)
+class BenchmarkInfo:
+    """One row of Table IV."""
+
+    name: str
+    factory: Callable[[], Network]
+    weight_sparsity: float
+    act_sparsity: float
+    accuracy: str
+    dense_latency_cycles: float
+
+    @property
+    def network(self) -> Network:
+        return self.factory()
+
+    def categories(self) -> tuple[ModelCategory, ...]:
+        """Model categories this benchmark can exercise."""
+        cats = [ModelCategory.DENSE, ModelCategory.B]
+        if self.act_sparsity > 0.0:
+            cats += [ModelCategory.A, ModelCategory.AB]
+        return tuple(cats)
+
+
+BENCHMARKS: tuple[BenchmarkInfo, ...] = (
+    BenchmarkInfo("AlexNet", alexnet, 0.89, 0.53, "57.3% (top-1)", 1.0e6),
+    BenchmarkInfo("GoogleNet", googlenet, 0.82, 0.37, "68.2% (top-1)", 2.2e6),
+    BenchmarkInfo("ResNet50", resnet50, 0.81, 0.43, "76.1% (top-1)", 4.8e6),
+    BenchmarkInfo("InceptionV3", inception_v3, 0.79, 0.46, "75.1% (top-1)", 6.9e6),
+    BenchmarkInfo("MobileNetV2", mobilenet_v2, 0.81, 0.52, "67.5% (top-1)", 2.2e6),
+    BenchmarkInfo("BERT", bert_base, 0.82, 0.00, "81.0%/81.4% (MNLI)", 5.3e6),
+)
+
+
+def benchmark(name: str) -> BenchmarkInfo:
+    """Look a benchmark up by (case-insensitive) name."""
+    for info in BENCHMARKS:
+        if info.name.lower() == name.lower():
+            return info
+    raise KeyError(f"unknown benchmark {name!r}; known: {[b.name for b in BENCHMARKS]}")
+
+
+def benchmark_names() -> list[str]:
+    return [info.name for info in BENCHMARKS]
+
+
+def suite_for(category: ModelCategory) -> list[BenchmarkInfo]:
+    """Benchmarks that exercise a given model category."""
+    return [info for info in BENCHMARKS if category in info.categories()]

@@ -1,0 +1,75 @@
+"""Tests for the analytical cycle model vs the simulator (paper Sec. V)."""
+
+import numpy as np
+import pytest
+
+from repro.config import sparse_a, sparse_b
+from repro.sim.analytical import analytical_speedup, analytical_tile_cycles
+from repro.sim.compaction import compact_schedule
+
+
+class TestTileModel:
+    def test_zero_steps(self):
+        assert analytical_tile_cycles(0, np.full((4, 4), 0.5), 2) == 0.0
+
+    def test_dense_tile_is_t(self):
+        cycles = analytical_tile_cycles(64, np.ones((16, 16)), 3)
+        assert cycles == pytest.approx(64.0)
+
+    def test_window_floor(self):
+        cycles = analytical_tile_cycles(64, np.full((16, 16), 0.01), 3)
+        assert cycles >= 64 / 4
+
+    def test_pooling_reduces_cycles(self):
+        rng = np.random.default_rng(0)
+        dens = np.clip(0.2 * rng.gamma(2, 0.5, (16, 16)), 0, 1)
+        alone = analytical_tile_cycles(64, dens, 4, 0, 0)
+        pooled = analytical_tile_cycles(64, dens, 4, 1, 1)
+        assert pooled <= alone
+
+    @pytest.mark.parametrize("density", [0.1, 0.25, 0.5])
+    @pytest.mark.parametrize("d1", [2, 4, 7])
+    def test_tracks_simulator_on_iid_tiles(self, density, d1):
+        rng = np.random.default_rng(42)
+        t = 96
+        sim = []
+        for _ in range(3):
+            mask = rng.random((t, 16, 16)) < density
+            sim.append(compact_schedule(mask, d1, 0, 0).cycles)
+        model = analytical_tile_cycles(t, np.full((16, 16), density), d1)
+        assert model == pytest.approx(np.mean(sim), rel=0.25)
+
+
+class TestSpeedupEstimate:
+    def test_dense_inputs_are_one(self):
+        assert analytical_speedup(sparse_b(4, 0, 1), None, None) == 1.0
+        assert analytical_speedup(sparse_b(4, 0, 1), 1.0, 1.0) == 1.0
+
+    def test_unsupported_side_ignored(self):
+        assert analytical_speedup(sparse_b(4, 0, 1), None, 0.5) == 1.0
+
+    def test_sparser_is_faster(self):
+        s_80 = analytical_speedup(sparse_b(4, 0, 1, shuffle=True), 0.2, None)
+        s_50 = analytical_speedup(sparse_b(4, 0, 1, shuffle=True), 0.5, None)
+        assert s_80 > s_50 > 1.0
+
+    def test_deeper_window_is_faster(self):
+        shallow = analytical_speedup(sparse_b(2, 0, 0, shuffle=True), 0.15, None)
+        deep = analytical_speedup(sparse_b(6, 0, 0, shuffle=True), 0.15, None)
+        assert deep > shallow
+
+    def test_shuffle_helps_heterogeneous(self):
+        off = analytical_speedup(sparse_b(6, 0, 0), 0.2, None)
+        on = analytical_speedup(sparse_b(6, 0, 0, shuffle=True), 0.2, None)
+        assert on > off
+
+    def test_a_side_estimate(self):
+        s = analytical_speedup(sparse_a(2, 1, 0, shuffle=True), None, 0.5)
+        assert 1.2 < s < 2.2
+
+    def test_dual_combines(self):
+        from repro.config import sparse_ab
+
+        dual = analytical_speedup(sparse_ab(2, 0, 0, 2, 0, 1, shuffle=True), 0.2, 0.5)
+        single = analytical_speedup(sparse_b(2, 0, 1, shuffle=True), 0.2, None)
+        assert dual > single

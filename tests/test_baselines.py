@@ -1,0 +1,73 @@
+"""Tests for the SOTA baseline registry (Table V)."""
+
+import pytest
+
+from repro.baselines import (
+    CAMBRICON_X,
+    CNVLUTIN,
+    SPARTEN_AB,
+    TCL_B,
+    TDASH_AB,
+    all_baselines,
+    baseline,
+)
+from repro.config import ModelCategory
+
+
+class TestTableVRows:
+    def test_tcl_is_weight_only_no_shuffle(self):
+        assert TCL_B.family == "Sparse.B"
+        assert not TCL_B.shuffle
+        assert TCL_B.b.d3 == 0  # TCL does not route across output channels
+
+    def test_tensordash_is_dual_no_preprocessing_dims(self):
+        assert TDASH_AB.family == "Sparse.AB"
+        assert TDASH_AB.a.d2 > 0 and TDASH_AB.b.d2 > 0
+        assert not TDASH_AB.shuffle
+
+    def test_sparten_is_time_only(self):
+        assert SPARTEN_AB.family == "Sparse.AB"
+        assert SPARTEN_AB.a.d2 == SPARTEN_AB.a.d3 == 0
+        assert SPARTEN_AB.b.d2 == SPARTEN_AB.b.d3 == 0
+
+    def test_cnvlutin_activation_only(self):
+        assert CNVLUTIN.family == "Sparse.A"
+
+    def test_cambricon_wide_window(self):
+        assert CAMBRICON_X.b.d1 == 15 and CAMBRICON_X.b.d2 == 15
+
+    def test_registry_contents(self):
+        names = [b.name for b in all_baselines()]
+        assert names == [
+            "Baseline", "BitTactical", "TensorDash", "SparTen",
+            "Cnvlutin", "Cambricon-X",
+        ]
+
+    def test_routing_rows_have_table_v_columns(self):
+        row = baseline("TensorDash").routing_row()
+        assert set(row) == {
+            "Architecture", "da1", "da2", "da3", "db1", "db2", "db3",
+            "Shuffle", "Sparsity",
+        }
+
+    def test_lookup_unknown(self):
+        with pytest.raises(KeyError):
+            baseline("Eyeriss")
+
+
+class TestCostRows:
+    def test_sparten_per_category_power(self):
+        sparten = baseline("SparTen")
+        assert sparten.power_mw(ModelCategory.AB) == pytest.approx(991.0)
+        # Dense streams leave the inner-join machinery idle (Fig. 8a fit).
+        assert sparten.power_mw(ModelCategory.DENSE) < 400.0
+
+    def test_others_power_is_cost_total(self):
+        tcl = baseline("BitTactical")
+        assert tcl.power_mw(ModelCategory.B) == pytest.approx(tcl.cost.total_power_mw)
+
+    def test_tcl_cheaper_than_tensordash(self):
+        assert (
+            baseline("BitTactical").cost.total_power_mw
+            < baseline("TensorDash").cost.total_power_mw
+        )

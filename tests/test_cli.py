@@ -1,0 +1,61 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_simulate_args(self):
+        args = build_parser().parse_args(
+            ["simulate", "--arch", "B(4,0,1,on)", "--network", "AlexNet",
+             "--category", "DNN.B"]
+        )
+        assert args.network == "AlexNet"
+        assert args.category.value == "DNN.B"
+
+    def test_rejects_unknown_network(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["simulate", "--arch", "Dense", "--network", "VGG"]
+            )
+
+    def test_rejects_unknown_category(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["simulate", "--arch", "Dense", "--network", "BERT",
+                 "--category", "DNN.X"]
+            )
+
+
+class TestCommands:
+    def test_cost_command(self, capsys):
+        assert main(["cost", "--arch", "B(4,0,1,on)"]) == 0
+        out = capsys.readouterr().out
+        assert "B(4,0,1,on)" in out and "mW" in out and "SRAM" in out
+
+    def test_cost_griffin(self, capsys):
+        assert main(["cost", "--arch", "Griffin"]) == 0
+        assert "Griffin" in capsys.readouterr().out
+
+    def test_simulate_command(self, capsys):
+        code = main(
+            ["simulate", "--arch", "B(4,0,0,on)", "--network", "AlexNet",
+             "--category", "DNN.B", "--passes", "2", "--max-t", "32", "--layers"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out and "conv1" in out
+
+    def test_compare_command(self, capsys):
+        code = main(
+            ["compare", "--category", "DNN.B", "--arch", "Dense",
+             "--arch", "B(2,0,0,on)", "--passes", "2", "--max-t", "32"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "TOPS/W" in out and "Baseline" in out

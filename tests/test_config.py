@@ -1,0 +1,161 @@
+"""Tests for the architecture configuration space (repro.config)."""
+
+import pytest
+
+from repro.config import (
+    GRIFFIN,
+    PAPER_CORE,
+    SPARSE_A_STAR,
+    SPARSE_AB_STAR,
+    SPARSE_B_STAR,
+    ArchConfig,
+    BorrowConfig,
+    CoreGeometry,
+    GriffinArch,
+    ModelCategory,
+    dense,
+    parse_notation,
+    sparse_a,
+    sparse_ab,
+    sparse_b,
+)
+
+
+class TestCoreGeometry:
+    def test_paper_core_is_1024_macs(self):
+        assert PAPER_CORE.macs_per_cycle == 1024
+        assert PAPER_CORE.num_pes == 64
+        assert (PAPER_CORE.k0, PAPER_CORE.n0, PAPER_CORE.m0) == (16, 16, 4)
+
+    def test_dense_tops_at_800mhz(self):
+        # 1024 MACs x 2 ops x 800 MHz = 1.6384 TOPS.
+        assert PAPER_CORE.dense_tops == pytest.approx(1.6384)
+
+    def test_rejects_non_positive_dims(self):
+        with pytest.raises(ValueError):
+            CoreGeometry(k0=0)
+        with pytest.raises(ValueError):
+            CoreGeometry(m0=-1)
+
+    def test_rejects_bad_precision(self):
+        with pytest.raises(ValueError):
+            CoreGeometry(precision_bits=7)
+
+    def test_rejects_bad_frequency(self):
+        with pytest.raises(ValueError):
+            CoreGeometry(frequency_mhz=0)
+
+
+class TestBorrowConfig:
+    def test_window_and_candidates(self):
+        cfg = BorrowConfig(2, 1, 1)
+        assert cfg.window == 3
+        assert cfg.candidates == 3 * 2 * 2
+
+    def test_dense_detection(self):
+        assert BorrowConfig().is_dense
+        assert not BorrowConfig(d1=1).is_dense
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            BorrowConfig(d1=-1)
+
+    def test_rejects_non_integer(self):
+        with pytest.raises(ValueError):
+            BorrowConfig(d1=1.5)
+
+
+class TestFamilies:
+    def test_dense_family(self):
+        assert dense().family == "Dense"
+
+    def test_sparse_a_family(self):
+        assert sparse_a(2, 1, 0).family == "Sparse.A"
+
+    def test_sparse_b_family(self):
+        assert sparse_b(4, 0, 1).family == "Sparse.B"
+
+    def test_sparse_ab_family(self):
+        assert sparse_ab(2, 0, 0, 2, 0, 1).family == "Sparse.AB"
+
+    def test_support_flags(self):
+        cfg = sparse_ab(1, 0, 0, 1, 0, 0)
+        assert cfg.supports_a_sparsity and cfg.supports_b_sparsity
+        assert not dense().supports_a_sparsity
+
+
+class TestNotation:
+    def test_roundtrip_a(self):
+        cfg = sparse_a(2, 1, 0, shuffle=True)
+        assert cfg.notation == "A(2,1,0,on)"
+        assert parse_notation(cfg.notation) == ArchConfig(a=cfg.a, shuffle=True)
+
+    def test_roundtrip_b(self):
+        cfg = sparse_b(4, 0, 1)
+        assert cfg.notation == "B(4,0,1,off)"
+        assert parse_notation(cfg.notation).b == cfg.b
+
+    def test_roundtrip_ab(self):
+        cfg = sparse_ab(2, 0, 0, 2, 0, 1, shuffle=True)
+        assert cfg.notation == "AB(2,0,0,2,0,1,on)"
+        parsed = parse_notation(cfg.notation)
+        assert parsed.a == cfg.a and parsed.b == cfg.b and parsed.shuffle
+
+    def test_parse_dense(self):
+        assert parse_notation("Dense").family == "Dense"
+        assert parse_notation("baseline").family == "Dense"
+
+    def test_parse_defaults_shuffle_off(self):
+        assert not parse_notation("B(4,0,1)").shuffle
+
+    def test_parse_rejects_wrong_arity(self):
+        with pytest.raises(ValueError):
+            parse_notation("A(1,2)")
+        with pytest.raises(ValueError):
+            parse_notation("AB(1,2,3)")
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_notation("C(1,2,3)")
+
+    def test_label_prefers_name(self):
+        assert SPARSE_B_STAR.label == "Sparse.B*"
+        assert sparse_b(4, 0, 1).label == "B(4,0,1,off)"
+
+
+class TestModelCategory:
+    def test_from_sparsity(self):
+        assert ModelCategory.from_sparsity(False, False) is ModelCategory.DENSE
+        assert ModelCategory.from_sparsity(True, False) is ModelCategory.A
+        assert ModelCategory.from_sparsity(False, True) is ModelCategory.B
+        assert ModelCategory.from_sparsity(True, True) is ModelCategory.AB
+
+    def test_flags(self):
+        assert ModelCategory.AB.activations_sparse
+        assert ModelCategory.AB.weights_sparse
+        assert not ModelCategory.B.activations_sparse
+        assert not ModelCategory.A.weights_sparse
+
+
+class TestGriffin:
+    def test_published_configuration(self):
+        # Table VI: conf.AB = AB(2,0,0,2,0,1), conf.B = B(8,0,1),
+        # conf.A = A(2,1,1), all with shuffling.
+        assert GRIFFIN.conf_ab.notation == "AB(2,0,0,2,0,1,on)"
+        assert GRIFFIN.conf_b.notation == "B(8,0,1,on)"
+        assert GRIFFIN.conf_a.notation == "A(2,1,1,on)"
+
+    def test_config_for_each_category(self):
+        assert GRIFFIN.config_for(ModelCategory.AB) is GRIFFIN.conf_ab
+        assert GRIFFIN.config_for(ModelCategory.A) is GRIFFIN.conf_a
+        assert GRIFFIN.config_for(ModelCategory.B) is GRIFFIN.conf_b
+        assert GRIFFIN.config_for(ModelCategory.DENSE).family == "Dense"
+
+    def test_rejects_wrong_families(self):
+        with pytest.raises(ValueError):
+            GriffinArch(conf_ab=sparse_b(4, 0, 1))
+
+    def test_published_stars(self):
+        assert SPARSE_B_STAR.notation == "B(4,0,1,on)"
+        assert SPARSE_A_STAR.notation == "A(2,1,0,on)"
+        assert SPARSE_AB_STAR.notation == "AB(2,0,0,2,0,1,on)"

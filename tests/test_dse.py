@@ -1,0 +1,135 @@
+"""Tests for the design-space exploration machinery."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import ModelCategory, sparse_b
+from repro.core.metrics import EfficiencyPoint
+from repro.core.overhead import overhead_of
+from repro.dse.evaluate import DesignEvaluation, EvalSettings
+from repro.dse.explorer import sparse_a_space, sparse_ab_space, sparse_b_space
+from repro.dse.pareto import pareto_front
+from repro.dse.report import format_table, select_optimal
+
+
+class TestExplorer:
+    def test_sparse_b_space_respects_fanin(self):
+        for cfg in sparse_b_space():
+            assert overhead_of(cfg).amux_fanin <= 8
+            assert cfg.b.d1 > 1
+
+    def test_sparse_a_space_respects_fanin(self):
+        for cfg in sparse_a_space():
+            ovh = overhead_of(cfg)
+            assert max(ovh.amux_fanin, ovh.bmux_fanin) <= 8
+
+    def test_sparse_ab_space_constraints(self):
+        space = sparse_ab_space()
+        for cfg in space:
+            assert overhead_of(cfg).amux_fanin <= 16
+            assert cfg.a.d3 == 0  # excluded per Fig. 7 observation 3
+            assert cfg.a.d1 <= 2
+
+    def test_spaces_include_published_stars(self):
+        b_notations = {c.notation for c in sparse_b_space()}
+        assert "B(4,0,1,on)" in b_notations
+        a_notations = {c.notation for c in sparse_a_space()}
+        assert "A(2,1,0,on)" in a_notations
+        ab_notations = {c.notation for c in sparse_ab_space()}
+        assert "AB(2,0,0,2,0,1,on)" in ab_notations
+
+    def test_shuffle_variants_paired(self):
+        space = sparse_b_space(shuffle_options=(False, True))
+        on = sum(1 for c in space if c.shuffle)
+        assert on == len(space) - on
+
+
+class TestPareto:
+    def test_simple_front(self):
+        pts = [(1, 5), (2, 4), (3, 3), (2, 2), (0, 6)]
+        front = pareto_front(pts, [lambda p: p[0], lambda p: p[1]])
+        assert set(front) == {(1, 5), (2, 4), (3, 3), (0, 6)}
+
+    def test_single_objective_is_max(self):
+        front = pareto_front([3, 1, 4, 1, 5], [lambda x: x])
+        assert front == [5]
+
+    def test_empty(self):
+        assert pareto_front([], [lambda x: x]) == []
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    pts=st.lists(
+        st.tuples(st.floats(0, 10), st.floats(0, 10)), min_size=1, max_size=30
+    )
+)
+def test_pareto_properties(pts):
+    """No front member dominates another; all others are dominated."""
+    objs = [lambda p: p[0], lambda p: p[1]]
+    front = pareto_front(pts, objs)
+    assert front
+    for p in front:
+        for q in front:
+            if p != q:
+                assert not (q[0] >= p[0] and q[1] >= p[1] and (q[0] > p[0] or q[1] > p[1]))
+    for p in pts:
+        assert any(q[0] >= p[0] and q[1] >= p[1] for q in front)
+
+
+def _eval(label, sparse_eff, dense_eff):
+    # Build a DesignEvaluation with synthetic efficiencies via power choice.
+    def pt(category, eff):
+        return EfficiencyPoint(
+            label=label, category=category, speedup=1.0,
+            power_mw=1.6384e3 / eff, area_um2=1e6,
+        )
+    return DesignEvaluation(
+        label=label,
+        points=(pt(ModelCategory.B.value, sparse_eff), pt(ModelCategory.DENSE.value, dense_eff)),
+    )
+
+
+class TestSelectOptimal:
+    def test_picks_balanced_product(self):
+        evals = [
+            _eval("fast-but-hot", 30.0, 4.0),
+            _eval("balanced", 25.0, 8.0),
+            _eval("cold-but-slow", 12.0, 10.0),
+        ]
+        best = select_optimal(evals, ModelCategory.B)
+        assert best.label == "balanced"
+
+    def test_dominated_points_never_win(self):
+        evals = [_eval("good", 20.0, 8.0), _eval("strictly-worse", 18.0, 7.0)]
+        assert select_optimal(evals, ModelCategory.B).label == "good"
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            select_optimal([], ModelCategory.B)
+
+
+class TestReportTable:
+    def test_format_alignment(self):
+        rows = [{"arch": "B(4,0,1,on)", "speedup": 2.5}, {"arch": "x", "speedup": 10.0}]
+        text = format_table(rows, title="Fig5")
+        lines = text.splitlines()
+        assert lines[0] == "Fig5"
+        assert "B(4,0,1,on)" in lines[3]
+        assert "2.5" in text and "10" in text
+
+    def test_empty_rows(self):
+        assert format_table([], title="t") == "t"
+
+
+class TestEvalSettings:
+    def test_quick_suite_is_subset(self):
+        quick = EvalSettings(quick=True)
+        full = EvalSettings(quick=False)
+        q = {b.name for b in quick.suite(ModelCategory.B)}
+        f = {b.name for b in full.suite(ModelCategory.B)}
+        assert q <= f and len(q) == 3
+
+    def test_a_suite_excludes_bert(self):
+        names = {b.name for b in EvalSettings(quick=False).suite(ModelCategory.A)}
+        assert "BERT" not in names

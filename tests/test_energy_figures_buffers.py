@@ -1,0 +1,110 @@
+"""Tests for the energy metrics, ASCII figures and buffer-occupancy model."""
+
+import numpy as np
+import pytest
+
+from repro.config import ModelCategory, SPARSE_B_STAR, dense
+from repro.dse.figures import bar_chart, scatter_plot
+from repro.hw.cost import cost_of
+from repro.hw.energy import EnergyReport, energy_ratio, inference_energy
+from repro.memory.buffers import (
+    BufferOccupancy,
+    expected_drift,
+    fullness_stall_fraction,
+    occupancy_from_progress,
+)
+from repro.sim.engine import SimulationOptions, simulate_network
+from repro.workloads.models import alexnet
+
+FAST = SimulationOptions(passes_per_gemm=2, max_t_steps=48)
+
+
+class TestEnergy:
+    def test_latency_at_800mhz(self):
+        report = EnergyReport("x", "net", cycles=800_000.0, power_mw=200.0)
+        assert report.latency_ms == pytest.approx(1.0)
+        assert report.energy_mj == pytest.approx(0.2)
+        assert report.edp == pytest.approx(0.2)
+
+    def test_sparse_inference_saves_energy(self):
+        net = alexnet()
+        sparse_run = simulate_network(net, SPARSE_B_STAR, ModelCategory.B, FAST)
+        dense_run = simulate_network(net, dense(), ModelCategory.B, FAST)
+        sparse_e = inference_energy(sparse_run, SPARSE_B_STAR)
+        dense_e = inference_energy(dense_run, dense())
+        # Speedup ~2.3x at ~1.39x power: net energy win.
+        assert energy_ratio(sparse_e, dense_e) > 1.2
+
+    def test_gated_power_used_on_dense_category(self):
+        net = alexnet()
+        run = simulate_network(net, SPARSE_B_STAR, ModelCategory.DENSE, FAST)
+        report = inference_energy(run, SPARSE_B_STAR)
+        assert report.power_mw < cost_of(SPARSE_B_STAR).total_power_mw
+
+    def test_energy_ratio_guards(self):
+        good = EnergyReport("a", "n", 1000.0, 100.0)
+        bad = EnergyReport("b", "n", 0.0, 100.0)
+        with pytest.raises(ValueError):
+            energy_ratio(bad, good)
+
+
+class TestFigures:
+    def test_bar_chart_scales_to_peak(self):
+        text = bar_chart({"a": 1.0, "b": 2.0}, title="T", width=10)
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert lines[2].count("#") == 10  # the peak bar is full width
+        assert lines[1].count("#") == 5
+
+    def test_bar_chart_empty(self):
+        assert bar_chart({}, title="t") == "t"
+
+    def test_bar_chart_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            bar_chart({"a": 0.0})
+
+    def test_scatter_contains_all_tags(self):
+        pts = [("one", 1.0, 2.0), ("two", 3.0, 1.0), ("three", 2.0, 4.0)]
+        text = scatter_plot(pts, title="S", x_label="px", y_label="py")
+        assert "A: one" in text and "C: three" in text
+        grid_chars = "".join(text.splitlines())
+        for tag in "ABC":
+            assert tag in grid_chars
+
+    def test_scatter_single_point(self):
+        text = scatter_plot([("p", 1.0, 1.0)])
+        assert "A: p" in text
+
+
+class TestBufferOccupancy:
+    def test_from_progress(self):
+        occ = occupancy_from_progress(np.array([10, 12, 15]), depth=9)
+        assert occ.peak_spread == pytest.approx(6.0)
+        assert occ.overflow == 0.0
+        assert 0 < occ.utilization <= 1.0
+
+    def test_overflow_detected(self):
+        occ = occupancy_from_progress(np.array([0, 20]), depth=9)
+        assert occ.overflow == pytest.approx(12.0)
+
+    def test_empty_progress(self):
+        occ = occupancy_from_progress(np.array([]), depth=5)
+        assert occ.mean_occupancy == 0.0
+
+    def test_fullness_stall_zero_when_fits(self):
+        assert fullness_stall_fraction(np.array([30, 32, 31]), 96, depth=9) == 0.0
+
+    def test_fullness_stall_grows_with_drift(self):
+        small = fullness_stall_fraction(np.array([10, 25]), 96, depth=9)
+        large = fullness_stall_fraction(np.array([10, 60]), 96, depth=9)
+        assert 0 < small < large <= 0.25
+
+    def test_expected_drift_scaling(self):
+        assert expected_drift(100, 0.2, 1) == 0.0
+        d16 = expected_drift(100, 0.2, 16)
+        d256 = expected_drift(100, 0.2, 256)
+        assert 0 < d16 < d256
+
+    def test_zero_depth_guard(self):
+        assert fullness_stall_fraction(np.array([1, 50]), 96, depth=0) == 0.0
+        assert BufferOccupancy(0, 0.0, 0.0).utilization == 0.0

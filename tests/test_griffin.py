@@ -1,0 +1,72 @@
+"""Tests for Griffin morphing (Table III and Sec. IV-B)."""
+
+import pytest
+
+from repro.config import GRIFFIN, GriffinArch, ModelCategory, sparse_a, sparse_ab, sparse_b
+from repro.core.griffin import (
+    compare_morph_vs_downgrade,
+    downgraded_config,
+    morph_fits_provisioned_hardware,
+)
+
+
+class TestDowngrade:
+    def test_dnn_a_downgrade(self):
+        # Table III: Sparse.AB(2,0,0,2,0,1) downgrades to Sparse.A(2,0,0).
+        down = downgraded_config(GRIFFIN.conf_ab, ModelCategory.A)
+        assert down.notation == "A(2,0,0,on)"
+
+    def test_dnn_b_downgrade(self):
+        down = downgraded_config(GRIFFIN.conf_ab, ModelCategory.B)
+        assert down.notation == "B(2,0,1,on)"
+
+    def test_rejects_non_dual(self):
+        with pytest.raises(ValueError):
+            downgraded_config(sparse_b(4, 0, 1), ModelCategory.B)
+
+    def test_rejects_non_single_category(self):
+        with pytest.raises(ValueError):
+            downgraded_config(GRIFFIN.conf_ab, ModelCategory.AB)
+
+
+class TestTableIII:
+    def test_dnn_b_row(self):
+        cmp = compare_morph_vs_downgrade(GRIFFIN, ModelCategory.B)
+        # conf.B(8,0,1) uses the full 9-entry ABUF vs 3 for the downgrade;
+        # metadata widens from 3 bits.
+        assert cmp.abuf_entries_used == (3, 9)
+        meta_down, meta_morph = cmp.metadata_bits
+        assert meta_down == 3 and meta_morph > meta_down
+
+    def test_dnn_a_row(self):
+        cmp = compare_morph_vs_downgrade(GRIFFIN, ModelCategory.A)
+        # BMUX fan-in grows from 3 to 5 (Table III).
+        assert cmp.bmux_fanin_change == (3, 5)
+
+    def test_rejects_dual_category(self):
+        with pytest.raises(ValueError):
+            compare_morph_vs_downgrade(GRIFFIN, ModelCategory.AB)
+
+
+class TestMorphBudget:
+    def test_published_griffin_fits(self):
+        checks = morph_fits_provisioned_hardware(GRIFFIN)
+        assert checks == {"conf.A": True, "conf.B": True}
+
+    def test_oversized_morph_detected(self):
+        greedy = GriffinArch(
+            conf_ab=sparse_ab(2, 0, 0, 2, 0, 1, shuffle=True),
+            conf_b=sparse_b(12, 0, 1, shuffle=True),  # needs a 13-deep ABUF
+            conf_a=sparse_a(2, 1, 1, shuffle=True),
+        )
+        assert not morph_fits_provisioned_hardware(greedy)["conf.B"]
+
+    def test_adder_tree_reuse(self):
+        # conf.A's da3=1 tree is exactly the dual mode's db3=1 tree.
+        from repro.core.overhead import overhead_of
+
+        assert (
+            overhead_of(GRIFFIN.conf_a).adder_trees
+            == overhead_of(GRIFFIN.conf_ab).adder_trees
+            == 2
+        )

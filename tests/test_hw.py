@@ -1,0 +1,141 @@
+"""Tests for the calibrated power/area cost model (Table VII)."""
+
+import pytest
+
+from repro.config import (
+    GRIFFIN,
+    SPARSE_A_STAR,
+    SPARSE_AB_STAR,
+    SPARSE_B_STAR,
+    dense,
+    sparse_b,
+)
+from repro.hw.cost import CostBreakdown, cost_of, griffin_cost, provisioned_bandwidth_scale
+from repro.baselines.bittactical import tcl_b_cost
+from repro.baselines.tensordash import tdash_ab_cost
+from repro.baselines.sparten import sparten_cost
+
+#: Table VII totals: label -> (power mW, area k um^2).
+TABLE_VII_TOTALS = {
+    "Baseline": (151.0, 217.0),
+    "Sparse.B*": (206.0, 258.0),
+    "TCL.B": (209.0, 233.0),
+    "Sparse.A*": (223.0, 253.0),
+    "Sparse.AB*": (282.0, 282.0),
+    "Griffin": (284.0, 286.0),
+    "TDash.AB": (284.0, 276.0),
+    "SparTen.AB": (991.0, 1139.0),
+}
+
+
+def _row(label: str) -> CostBreakdown:
+    if label == "Baseline":
+        return cost_of(dense())
+    if label == "Sparse.B*":
+        return cost_of(SPARSE_B_STAR)
+    if label == "Sparse.A*":
+        return cost_of(SPARSE_A_STAR)
+    if label == "Sparse.AB*":
+        return cost_of(SPARSE_AB_STAR)
+    if label == "Griffin":
+        return griffin_cost(GRIFFIN)
+    if label == "TCL.B":
+        return tcl_b_cost()
+    if label == "TDash.AB":
+        return tdash_ab_cost()
+    return sparten_cost("AB")
+
+
+class TestTableVIITotals:
+    @pytest.mark.parametrize("label", list(TABLE_VII_TOTALS))
+    def test_total_power_within_tolerance(self, label):
+        model = _row(label).total_power_mw
+        paper, _ = TABLE_VII_TOTALS[label]
+        assert model == pytest.approx(paper, rel=0.10), label
+
+    @pytest.mark.parametrize("label", list(TABLE_VII_TOTALS))
+    def test_total_area_within_tolerance(self, label):
+        model = _row(label).total_area_kum2
+        _, paper = TABLE_VII_TOTALS[label]
+        assert model == pytest.approx(paper, rel=0.10), label
+
+    def test_efficiency_ordering_of_paper(self):
+        # Table VII lists designs in order of increasing power; the dense
+        # baseline must be cheapest and SparTen most expensive.
+        powers = [_row(label).total_power_mw for label in TABLE_VII_TOTALS]
+        assert powers[0] == min(powers)
+        assert powers[-1] == max(powers)
+
+
+class TestBreakdownStructure:
+    def test_dense_has_no_sparse_components(self):
+        row = cost_of(dense())
+        assert row.ctrl_power == 0 and row.abuf_power == 0
+        assert row.mux_power == 0 and row.shf_power == 0
+
+    def test_sparse_b_has_no_bbuf(self):
+        row = cost_of(SPARSE_B_STAR)
+        assert row.bbuf_power == 0.0
+        assert row.abuf_power > 0.0
+
+    def test_dual_pays_pe_control(self):
+        assert cost_of(SPARSE_AB_STAR).ctrl_power > 10.0
+        assert cost_of(SPARSE_A_STAR).ctrl_power < 2.0
+
+    def test_griffin_slightly_above_dual(self):
+        dual = cost_of(SPARSE_AB_STAR)
+        hybrid = griffin_cost(GRIFFIN)
+        assert hybrid.total_power_mw > dual.total_power_mw
+        assert hybrid.total_power_mw < dual.total_power_mw * 1.03
+        assert hybrid.total_area_kum2 > dual.total_area_kum2
+
+    def test_deeper_windows_cost_more(self):
+        shallow = cost_of(sparse_b(2, 0, 0))
+        deep = cost_of(sparse_b(6, 0, 0))
+        assert deep.abuf_power > shallow.abuf_power
+        assert deep.mux_area > shallow.mux_area
+
+    def test_extra_tree_area_scales(self):
+        no_tree = cost_of(sparse_b(4, 0, 0))
+        one_tree = cost_of(sparse_b(4, 0, 1))
+        two_trees = cost_of(sparse_b(4, 0, 2))
+        per_tree = one_tree.adt_area - no_tree.adt_area
+        assert per_tree == pytest.approx(64 * 105.0 / 1e3, rel=0.01)
+        assert two_trees.adt_area - one_tree.adt_area == pytest.approx(per_tree)
+
+    def test_shuffler_charged_per_side(self):
+        b_on = cost_of(sparse_b(4, 0, 1, shuffle=True))
+        ab_on = cost_of(SPARSE_AB_STAR)
+        assert ab_on.shf_power == pytest.approx(2 * b_on.shf_power)
+
+    def test_power_row_matches_total(self):
+        row = cost_of(SPARSE_AB_STAR)
+        assert sum(row.power_row().values()) == pytest.approx(row.total_power_mw)
+        assert sum(row.area_row().values()) == pytest.approx(row.total_area_kum2)
+
+
+class TestBandwidthProvisioning:
+    def test_scale_is_window_product(self):
+        assert provisioned_bandwidth_scale(dense()) == 1.0
+        assert provisioned_bandwidth_scale(SPARSE_B_STAR) == 5.0
+        assert provisioned_bandwidth_scale(SPARSE_AB_STAR) == 9.0
+
+    def test_sram_power_grows_with_bandwidth(self):
+        assert cost_of(sparse_b(6, 0, 0)).sram_power > cost_of(sparse_b(2, 0, 0)).sram_power
+
+
+class TestSparTenRows:
+    def test_variants(self):
+        assert sparten_cost("A").label == "SparTen.A"
+        assert sparten_cost("b").label == "SparTen.B"
+        with pytest.raises(ValueError):
+            sparten_cost("C")
+
+    def test_sparten_accumulators_unshared(self):
+        # 1024 private accumulators: 10x the baseline's ACC power.
+        assert sparten_cost("AB").acc_power == pytest.approx(110.0)
+
+    def test_sparten_b_fits_sec_vi_text(self):
+        # 3.9x speedup at -26% power efficiency vs baseline -> ~795 mW.
+        row = sparten_cost("B")
+        assert row.total_power_mw == pytest.approx(795.0, rel=0.05)

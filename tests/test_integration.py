@@ -1,0 +1,97 @@
+"""Cross-module integration tests: the paper's claims end to end."""
+
+import pytest
+
+from repro.config import (
+    GRIFFIN,
+    ModelCategory,
+    SPARSE_AB_STAR,
+    SPARSE_B_STAR,
+    dense,
+    sparse_b,
+)
+from repro.core.metrics import effective_tops_per_watt
+from repro.dse.evaluate import EvalSettings, category_speedup, evaluate_arch, evaluate_griffin
+from repro.hw.cost import cost_of, gated_power_mw, griffin_cost
+from repro.sim.engine import SimulationOptions
+
+FAST = EvalSettings(
+    quick=True, options=SimulationOptions(passes_per_gemm=2, max_t_steps=48)
+)
+
+
+class TestEndToEndClaims:
+    def test_weight_sparse_suite_speedup_band(self):
+        # Fig. 5 territory: B*(4,0,1,on) around 2-3x on the pruned suite.
+        s = category_speedup(SPARSE_B_STAR, ModelCategory.B, FAST)
+        assert 1.7 < s < 3.2
+
+    def test_dual_beats_single_on_dual_sparse(self):
+        dual = category_speedup(SPARSE_AB_STAR, ModelCategory.AB, FAST)
+        single = category_speedup(SPARSE_B_STAR, ModelCategory.AB, FAST)
+        assert dual > single
+
+    def test_deeper_lookahead_faster_at_same_family(self):
+        shallow = category_speedup(sparse_b(2, 0, 1, shuffle=True), ModelCategory.B, FAST)
+        deep = category_speedup(sparse_b(8, 0, 1, shuffle=True), ModelCategory.B, FAST)
+        assert deep > shallow
+
+    def test_griffin_evaluation_complete(self):
+        ev = evaluate_griffin(GRIFFIN, tuple(ModelCategory), FAST)
+        assert {pt.category for pt in ev.points} == {c.value for c in ModelCategory}
+        assert ev.speedup(ModelCategory.DENSE) == pytest.approx(1.0)
+        assert ev.speedup(ModelCategory.B) > 1.5
+        assert ev.speedup(ModelCategory.AB) >= ev.speedup(ModelCategory.A)
+
+    def test_griffin_beats_plain_dual_power_efficiency_on_b(self):
+        griffin = evaluate_griffin(GRIFFIN, (ModelCategory.B,), FAST)
+        dual = evaluate_arch(SPARSE_AB_STAR, (ModelCategory.B,), FAST)
+        assert (
+            griffin.point(ModelCategory.B).tops_per_watt
+            > dual.point(ModelCategory.B).tops_per_watt
+        )
+
+
+class TestGatedPower:
+    def test_sparse_b_star_dense_overhead_matches_paper(self):
+        # Sec. VI-A: Sparse.B* imposes ~16% power overhead on dense models.
+        cost = cost_of(SPARSE_B_STAR)
+        power = gated_power_mw(cost, SPARSE_B_STAR, ModelCategory.DENSE)
+        base = cost_of(dense()).total_power_mw
+        assert power / base == pytest.approx(1.16, abs=0.05)
+
+    def test_griffin_dense_tax_matches_paper(self):
+        # Sec. VI-F: Griffin's dense sparsity tax is ~29% in power.
+        base_eff = effective_tops_per_watt(1.0, cost_of(dense()).total_power_mw)
+        cost = griffin_cost(GRIFFIN)
+        from repro.hw.cost import griffin_category_power_mw
+
+        power = griffin_category_power_mw(GRIFFIN, cost, ModelCategory.DENSE)
+        tax = 1.0 - effective_tops_per_watt(1.0, power) / base_eff
+        assert tax == pytest.approx(0.29, abs=0.05)
+
+    def test_sparse_operating_point_not_gated(self):
+        cost = cost_of(SPARSE_B_STAR)
+        assert gated_power_mw(cost, SPARSE_B_STAR, ModelCategory.B) == pytest.approx(
+            cost.total_power_mw
+        )
+
+    def test_dual_gates_pair_control_on_weight_only(self):
+        cost = cost_of(SPARSE_AB_STAR)
+        on_b = gated_power_mw(cost, SPARSE_AB_STAR, ModelCategory.B)
+        on_ab = gated_power_mw(cost, SPARSE_AB_STAR, ModelCategory.AB)
+        assert on_b < on_ab
+
+    def test_dense_arch_never_gated(self):
+        cost = cost_of(dense())
+        for category in ModelCategory:
+            assert gated_power_mw(cost, dense(), category) == pytest.approx(
+                cost.total_power_mw
+            )
+
+
+class TestDeterminismAcrossStack:
+    def test_full_evaluation_is_reproducible(self):
+        a = evaluate_arch(SPARSE_B_STAR, (ModelCategory.B,), FAST)
+        b = evaluate_arch(SPARSE_B_STAR, (ModelCategory.B,), FAST)
+        assert a.point(ModelCategory.B).speedup == b.point(ModelCategory.B).speedup

@@ -1,0 +1,83 @@
+"""Tests for the SRAM/DRAM memory models."""
+
+import pytest
+
+from repro.memory.dram import DramModel, dram_stall_factor, layer_traffic_bytes
+from repro.memory.sram import (
+    BASELINE_ASRAM,
+    BASELINE_BSRAM,
+    SramConfig,
+    SramModel,
+    bank_conflict_stall_fraction,
+)
+
+
+class TestSramConfig:
+    def test_table_iv_baseline(self):
+        assert BASELINE_ASRAM.capacity_kib == 512
+        assert BASELINE_ASRAM.bandwidth_gbps == pytest.approx(51.2)
+        assert BASELINE_BSRAM.capacity_kib == 32
+        assert BASELINE_BSRAM.bandwidth_gbps == pytest.approx(204.8)
+
+    def test_asram_feeds_exactly_one_dense_slice(self):
+        # 51.2 GB/s at 800 MHz is 64 B/cycle = M0 x K0 INT8 operands.
+        assert BASELINE_ASRAM.words_per_cycle(800.0) == pytest.approx(64.0)
+
+    def test_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            SramConfig(capacity_kib=0, bandwidth_gbps=1)
+        with pytest.raises(ValueError):
+            SramConfig(capacity_kib=1, bandwidth_gbps=-1)
+
+
+class TestBankConflicts:
+    def test_no_conflicts_below_one_request(self):
+        assert bank_conflict_stall_fraction(0.5) == 0.0
+        assert bank_conflict_stall_fraction(1.0) == 0.0
+
+    def test_fraction_grows_with_requests(self):
+        fractions = [bank_conflict_stall_fraction(r) for r in (2, 4, 8, 14)]
+        assert all(f >= 0 for f in fractions)
+        assert fractions == sorted(fractions)
+
+    def test_fraction_stays_small(self):
+        # The paper's pipeline "considers" bank conflicts; they never
+        # dominate (a few percent).
+        assert bank_conflict_stall_fraction(8.0, banks=16) < 0.1
+
+    def test_single_bank_never_conflicts(self):
+        assert bank_conflict_stall_fraction(4.0, banks=1) == 0.0
+
+
+class TestSramModel:
+    def test_no_stall_within_provisioning(self):
+        model = SramModel(bw_scale_a=5.0, bw_scale_b=5.0)
+        assert model.stall_fraction(1.0, 1.0) == pytest.approx(0.0, abs=0.02)
+
+    def test_excess_fetch_stalls(self):
+        model = SramModel(bw_scale_a=2.0, bw_scale_b=2.0)
+        assert model.stall_fraction(4.0, 1.0) > 0.9
+
+
+class TestDram:
+    def test_bytes_per_cycle(self):
+        assert DramModel(50.0).bytes_per_cycle(800.0) == pytest.approx(62.5)
+
+    def test_no_stall_when_under_budget(self):
+        assert dram_stall_factor(1000.0, 1000.0, 800.0) == 1.0
+
+    def test_stall_scales_with_deficit(self):
+        # 125 B/cycle required vs 62.5 available -> 2x stretch.
+        factor = dram_stall_factor(125_000.0, 1000.0, 800.0)
+        assert factor == pytest.approx(2.0)
+
+    def test_zero_cycles_guard(self):
+        assert dram_stall_factor(100.0, 0.0, 800.0) == 1.0
+
+    def test_traffic_compression(self):
+        dense = layer_traffic_bytes(10, 100, 20, weight_density=1.0)
+        sparse = layer_traffic_bytes(10, 100, 20, weight_density=0.2, metadata_bits=4)
+        assert sparse < dense
+        # A and C are unchanged; B shrinks to density x (1 + meta/8).
+        expected = 10 * 100 + 100 * 20 * 0.2 * 1.5 + 10 * 20
+        assert sparse == pytest.approx(expected)

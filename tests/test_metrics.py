@@ -1,0 +1,72 @@
+"""Tests for the Definition V.1 efficiency metrics."""
+
+import pytest
+
+from repro.config import PAPER_CORE
+from repro.core.metrics import (
+    EfficiencyPoint,
+    dense_tops,
+    effective_tops_per_mm2,
+    effective_tops_per_watt,
+    geometric_mean,
+)
+
+
+class TestGeometricMean:
+    def test_simple(self):
+        assert geometric_mean([2, 8]) == pytest.approx(4.0)
+
+    def test_single(self):
+        assert geometric_mean([3.5]) == pytest.approx(3.5)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+    def test_below_arithmetic_mean(self):
+        vals = [1.2, 3.0, 2.4, 5.0]
+        assert geometric_mean(vals) < sum(vals) / len(vals)
+
+
+class TestEffectiveEfficiency:
+    def test_dense_tops(self):
+        assert dense_tops() == pytest.approx(1.6384)
+
+    def test_baseline_tops_per_watt(self):
+        # Dense baseline: 1.6384 TOPS at 151 mW -> ~10.85 TOPS/W.
+        assert effective_tops_per_watt(1.0, 151.0) == pytest.approx(10.85, rel=0.01)
+
+    def test_speedup_scales_linearly(self):
+        one = effective_tops_per_watt(1.0, 200.0)
+        four = effective_tops_per_watt(4.0, 200.0)
+        assert four == pytest.approx(4 * one)
+
+    def test_area_efficiency(self):
+        # Baseline: 1.6384 TOPS on 217.5 k um^2 -> ~7.5 TOPS/mm^2.
+        assert effective_tops_per_mm2(1.0, 217_500.0) == pytest.approx(7.53, rel=0.01)
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            effective_tops_per_watt(1.0, 0.0)
+        with pytest.raises(ValueError):
+            effective_tops_per_mm2(1.0, -5.0)
+
+
+class TestEfficiencyPoint:
+    def test_relative_to(self):
+        griffin = EfficiencyPoint("Griffin", "DNN.B", speedup=3.5, power_mw=284.0,
+                                  area_um2=286_000.0)
+        sparten = EfficiencyPoint("SparTen", "DNN.B", speedup=3.9, power_mw=991.0,
+                                  area_um2=1_139_000.0)
+        power_ratio, area_ratio = griffin.relative_to(sparten)
+        # The Fig. 8(b) headline: ~3x more power-efficient.
+        assert power_ratio == pytest.approx(3.13, rel=0.02)
+        assert area_ratio > 3.0
+
+    def test_uses_geometry(self):
+        pt = EfficiencyPoint("x", "DNN.dense", 1.0, 100.0, 1e6, geometry=PAPER_CORE)
+        assert pt.tops_per_watt == pytest.approx(16.384)

@@ -1,0 +1,114 @@
+"""Tests for the benchmark network definitions (Table IV workloads)."""
+
+import pytest
+
+from repro.config import ModelCategory
+from repro.workloads.models import (
+    alexnet,
+    bert_base,
+    googlenet,
+    inception_v3,
+    mobilenet_v2,
+    resnet50,
+)
+from repro.workloads.registry import BENCHMARKS, benchmark, benchmark_names, suite_for
+
+
+class TestTopologies:
+    def test_alexnet_macs(self):
+        # ~715M MACs (five convs + three FCs at batch 1).
+        assert alexnet().macs == pytest.approx(715e6, rel=0.05)
+
+    def test_resnet50_macs(self):
+        assert resnet50().macs == pytest.approx(4.1e9, rel=0.08)
+
+    def test_googlenet_macs(self):
+        assert googlenet().macs == pytest.approx(1.5e9, rel=0.15)
+
+    def test_inception_v3_macs(self):
+        assert inception_v3().macs == pytest.approx(5.7e9, rel=0.15)
+
+    def test_mobilenet_v2_macs(self):
+        assert mobilenet_v2().macs == pytest.approx(300e6, rel=0.15)
+
+    def test_bert_macs(self):
+        # 12 encoders, hidden 768, FFN 3072, seq 64: ~5.6G MACs.
+        assert bert_base().macs == pytest.approx(5.6e9, rel=0.1)
+
+    def test_alexnet_conv2_shape(self):
+        conv2 = alexnet().layers[1].spec
+        gemm = conv2.gemms()[0]
+        assert (gemm.m, gemm.k, gemm.n) == (27 * 27, 64 * 25, 192)
+
+    def test_mobilenet_has_depthwise_groups(self):
+        dw = [
+            l.spec for l in mobilenet_v2().layers
+            if getattr(l.spec, "groups", 1) > 1
+        ]
+        assert len(dw) == 17
+        assert all(s.groups == s.in_channels for s in dw)
+
+    def test_bert_attention_marks_dynamic_gemms(self):
+        attn = bert_base().layers[0].spec
+        dynamic = [g for g in attn.gemms() if g.weight_is_dynamic]
+        assert len(dynamic) == 2  # scores and context
+
+
+class TestSparsitySchedules:
+    @pytest.mark.parametrize(
+        "info",
+        BENCHMARKS,
+        ids=[b.name for b in BENCHMARKS],
+    )
+    def test_network_ratios_match_table_iv(self, info):
+        net = info.network
+        assert net.weight_sparsity == pytest.approx(info.weight_sparsity, abs=0.02)
+        assert net.act_sparsity == pytest.approx(info.act_sparsity, abs=0.03)
+
+    def test_first_layer_activations_dense(self):
+        # The image input to conv1 has no ReLU zeros.
+        for factory in (alexnet, resnet50, mobilenet_v2):
+            assert factory().layers[0].act_density == 1.0
+
+    def test_fc_layers_prune_hardest(self):
+        net = alexnet()
+        conv_density = net.layers[1].weight_density
+        fc_density = net.layers[5].weight_density
+        assert fc_density < conv_density
+
+    def test_first_conv_resists_pruning(self):
+        net = resnet50()
+        assert net.layers[0].weight_density > net.layers[1].weight_density
+
+    def test_bert_activations_dense(self):
+        assert all(l.act_density == 1.0 for l in bert_base().layers)
+
+    def test_densities_in_range(self):
+        for info in BENCHMARKS:
+            for layer in info.network.layers:
+                assert 0.0 < layer.weight_density <= 1.0
+                assert 0.0 < layer.act_density <= 1.0
+
+
+class TestRegistry:
+    def test_six_benchmarks(self):
+        assert benchmark_names() == [
+            "AlexNet", "GoogleNet", "ResNet50", "InceptionV3", "MobileNetV2", "BERT",
+        ]
+
+    def test_lookup_case_insensitive(self):
+        assert benchmark("bert").name == "BERT"
+
+    def test_lookup_unknown(self):
+        with pytest.raises(KeyError):
+            benchmark("VGG")
+
+    def test_bert_skips_a_categories(self):
+        cats = benchmark("BERT").categories()
+        assert ModelCategory.A not in cats
+        assert ModelCategory.B in cats
+
+    def test_suite_for_categories(self):
+        assert len(suite_for(ModelCategory.B)) == 6
+        assert len(suite_for(ModelCategory.A)) == 5
+        assert all(b.act_sparsity > 0 for b in suite_for(ModelCategory.AB))

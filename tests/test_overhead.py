@@ -1,0 +1,147 @@
+"""Tests for the Table II / Sec. IV-A hardware overhead model."""
+
+import pytest
+
+from repro.config import dense, sparse_a, sparse_ab, sparse_b
+from repro.core.overhead import overhead_of
+
+
+class TestDense:
+    def test_no_overhead(self):
+        ovh = overhead_of(dense())
+        assert ovh.abuf_depth == 1
+        assert ovh.amux_fanin == 1
+        assert ovh.adder_trees == 1
+        assert ovh.extra_adder_trees == 0
+        assert ovh.amux_legs == 0
+        assert not ovh.per_pe_control
+        assert not ovh.per_row_arbiter
+
+
+class TestSparseATableII:
+    """The special-case rows of Table II pin the Sparse.A closed forms."""
+
+    @pytest.mark.parametrize("da1", [1, 2, 3, 4])
+    def test_time_only_row(self, da1):
+        ovh = overhead_of(sparse_a(da1, 0, 0))
+        assert ovh.abuf_depth == 1 + da1
+        assert ovh.amux_fanin == 1 + da1
+        assert ovh.bbuf_depth == 1 + da1
+        assert ovh.bmux_fanin == 1 + da1
+        assert ovh.adder_trees == 1
+
+    @pytest.mark.parametrize("da2", [1, 2, 3])
+    def test_lane_row(self, da2):
+        ovh = overhead_of(sparse_a(1, da2, 0))
+        assert ovh.abuf_depth == 2
+        assert ovh.amux_fanin == 2 + da2
+        assert ovh.bbuf_depth == 2
+        assert ovh.bmux_fanin == 2 + da2
+        assert ovh.adder_trees == 1
+
+    @pytest.mark.parametrize("da3", [1, 2])
+    def test_neighbour_row(self, da3):
+        ovh = overhead_of(sparse_a(1, 0, da3))
+        assert ovh.abuf_depth == 2
+        assert ovh.amux_fanin == 2 + da3
+        assert ovh.bmux_fanin == 2
+        assert ovh.adder_trees == 1 + da3
+
+    def test_sec_vi_b_quoted_fanin_formula(self):
+        # Sec. VI-B observation 4: AMUX = 1 + da1*(1+da2)*(1+da3).
+        ovh = overhead_of(sparse_a(4, 1, 0))
+        assert ovh.amux_fanin == 1 + 4 * 2 * 1
+
+    def test_arbiter_not_pe_control(self):
+        ovh = overhead_of(sparse_a(2, 1, 0))
+        assert ovh.per_row_arbiter and not ovh.per_pe_control
+        assert ovh.metadata_bits == 0
+
+
+class TestSparseBTableII:
+    @pytest.mark.parametrize("db1", [1, 2, 4, 8])
+    def test_time_only_row(self, db1):
+        ovh = overhead_of(sparse_b(db1, 0, 0))
+        assert ovh.abuf_depth == 1 + db1
+        assert ovh.amux_fanin == 1 + db1
+        assert ovh.bbuf_depth == 0
+        assert ovh.bmux_fanin == 0
+        assert ovh.adder_trees == 1
+
+    @pytest.mark.parametrize("db2", [1, 2])
+    def test_lane_row(self, db2):
+        ovh = overhead_of(sparse_b(1, db2, 0))
+        assert ovh.abuf_depth == 2
+        assert ovh.amux_fanin == 2 + db2
+
+    @pytest.mark.parametrize("db3", [1, 2])
+    def test_neighbour_row(self, db3):
+        ovh = overhead_of(sparse_b(1, 0, db3))
+        assert ovh.amux_fanin == 2
+        assert ovh.adder_trees == 1 + db3
+
+    def test_preprocessed_b_has_no_bbuf(self):
+        ovh = overhead_of(sparse_b(4, 0, 1))
+        assert ovh.bbuf_depth == 0 and ovh.bmux_fanin == 0
+        assert ovh.metadata_bits > 0
+
+    def test_paper_upgrade_example(self):
+        # Sec. III: Sparse.B(...) with db3=1 needs one extra adder tree.
+        base = overhead_of(sparse_b(4, 0, 0))
+        upgraded = overhead_of(sparse_b(4, 0, 1))
+        assert upgraded.adder_trees == base.adder_trees + 1
+
+    def test_metadata_bits_b201(self):
+        # Table III: Sparse.B(2,0,1) carries 3 bits per element.
+        assert overhead_of(sparse_b(2, 0, 1)).metadata_bits == 3
+
+
+class TestSparseABSection4A:
+    def test_published_star_numbers(self):
+        # Sec. IV-B: Sparse.AB(2,0,0,2,0,1) requires a 9-entry ABUF,
+        # 3-entry BBUF, 9-input AMUX, 3-input BMUX and one extra adder tree.
+        ovh = overhead_of(sparse_ab(2, 0, 0, 2, 0, 1))
+        assert ovh.abuf_depth == 9
+        assert ovh.bbuf_depth == 3
+        assert ovh.amux_fanin == 9
+        assert ovh.bmux_fanin == 3
+        assert ovh.extra_adder_trees == 1
+        assert ovh.per_pe_control and ovh.per_row_arbiter
+
+    def test_abuf_is_window_product(self):
+        for da1, db1 in [(1, 1), (2, 3), (1, 4)]:
+            ovh = overhead_of(sparse_ab(da1, 0, 0, db1, 0, 0))
+            assert ovh.abuf_depth == (1 + da1) * (1 + db1)
+
+    def test_amux_formula(self):
+        # Sec. IV-A: AMUX = 1 + (L-1)(1 + y + y')(1 + z).
+        ovh = overhead_of(sparse_ab(1, 1, 1, 1, 1, 0))
+        l_depth = 4
+        assert ovh.amux_fanin == 1 + (l_depth - 1) * (1 + 1 + 1) * 2
+
+    def test_adder_trees_product(self):
+        # Fig. 7 observation 2: da3 and db3 both nonzero means at least
+        # four adder trees per PE.
+        ovh = overhead_of(sparse_ab(1, 0, 1, 1, 0, 1))
+        assert ovh.adder_trees == 4
+
+    def test_fig7_fanin_bound_example(self):
+        # AB(2,0,0,4,0,2) reaches the Fig. 7 fan-in limit of 16.
+        assert overhead_of(sparse_ab(2, 0, 0, 4, 0, 2)).amux_fanin == 15
+
+
+class TestGriffinMorphOverheads:
+    def test_conf_b_uses_full_abuf_with_wider_metadata(self):
+        from repro.config import GRIFFIN
+
+        ab = overhead_of(GRIFFIN.conf_ab)
+        conf_b = overhead_of(GRIFFIN.conf_b)
+        assert conf_b.abuf_depth == ab.abuf_depth == 9
+        # Table III: metadata widens from 3 bits (dual) to >= 4 (conf.B).
+        assert conf_b.metadata_bits > overhead_of(GRIFFIN.conf_ab).metadata_bits >= 3
+
+    def test_conf_a_bmux_grows_3_to_5(self):
+        from repro.config import GRIFFIN
+
+        assert overhead_of(GRIFFIN.conf_ab).bmux_fanin == 3
+        assert overhead_of(GRIFFIN.conf_a).bmux_fanin == 5

@@ -1,0 +1,43 @@
+"""Tests for the Transformer+ReLU workload variant (Table I coverage)."""
+
+import pytest
+
+from repro.config import ModelCategory, SPARSE_A_STAR, sparse_a
+from repro.sim.engine import SimulationOptions, simulate_network
+from repro.workloads.models import bert_base, relu_transformer
+
+FAST = SimulationOptions(passes_per_gemm=2, max_t_steps=48)
+
+
+class TestDefinition:
+    def test_target_ratios(self):
+        net = relu_transformer()
+        assert net.weight_sparsity == pytest.approx(0.80, abs=0.02)
+        assert net.act_sparsity == pytest.approx(0.45, abs=0.03)
+
+    def test_structure(self):
+        net = relu_transformer(layers=6, hidden=256)
+        # attention + ffn per encoder plus the classifier head.
+        assert len(net.layers) == 13
+
+    def test_parametrization_scales_macs(self):
+        small = relu_transformer(layers=4, hidden=256)
+        big = relu_transformer(layers=8, hidden=256)
+        assert big.macs > 1.8 * small.macs
+
+
+class TestBehaviour:
+    def test_activation_sparsity_exploitable(self):
+        # Unlike BERT (GeLU, Table IV A-sparsity 0%), the ReLU transformer
+        # gives Sparse.A something to skip.
+        relu_run = simulate_network(
+            relu_transformer(layers=4), SPARSE_A_STAR, ModelCategory.A, FAST
+        )
+        bert_run = simulate_network(bert_base(), SPARSE_A_STAR, ModelCategory.A, FAST)
+        assert relu_run.speedup > 1.1
+        assert bert_run.speedup == pytest.approx(1.0, abs=0.02)
+
+    def test_dynamic_gemms_stay_dense_under_pruning(self):
+        net = relu_transformer(layers=2)
+        res = simulate_network(net, sparse_a(2, 1, 0, shuffle=True), ModelCategory.AB, FAST)
+        assert res.speedup > 1.0
