@@ -27,12 +27,15 @@ from repro.config import (
     sparse_b,
 )
 from repro.core.overhead import HardwareOverhead, overhead_of
+from repro.runtime import CacheStats, PersistentLayerCache, SweepOutcome, SweepRunner
 from repro.sim.engine import (
     NetworkSimResult,
     SimulationOptions,
+    set_persistent_cache,
     simulate_layer,
     simulate_network,
     simulate_tile,
+    simulation_key,
 )
 from repro.workloads.registry import BENCHMARKS, benchmark, benchmark_names
 
@@ -59,8 +62,14 @@ __all__ = [
     "simulate_tile",
     "simulate_layer",
     "simulate_network",
+    "simulation_key",
+    "set_persistent_cache",
     "SimulationOptions",
     "NetworkSimResult",
+    "CacheStats",
+    "PersistentLayerCache",
+    "SweepOutcome",
+    "SweepRunner",
     "BENCHMARKS",
     "benchmark",
     "benchmark_names",

@@ -1,29 +1,38 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Three subcommands cover the everyday questions:
+Four subcommands cover the everyday questions:
 
 * ``simulate`` -- run one architecture on one benchmark and category;
 * ``cost``     -- print the Table VII-style breakdown of a design;
 * ``compare``  -- effective-efficiency table of several designs on one
-  category (a one-line slice of Fig. 8).
+  category (a one-line slice of Fig. 8);
+* ``sweep``    -- evaluate a whole design space (Figs. 5-7) in parallel
+  worker processes, backed by the persistent layer-result cache, and print
+  a figure-ready table plus the starred optimal point.
 
 Examples::
 
     python -m repro simulate --arch "B(4,0,1,on)" --network ResNet50 --category DNN.B
     python -m repro cost --arch "AB(2,0,0,2,0,1,on)"
     python -m repro compare --category DNN.B --arch Dense --arch "B(4,0,1,on)" --arch Griffin
+    python -m repro sweep --space b --workers 4
+    python -m repro sweep --space ab --quick --json fig7.json
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import sys
 from typing import Sequence
 
 from repro.config import GRIFFIN, ArchConfig, ModelCategory, parse_notation
 from repro.core.metrics import effective_tops_per_mm2, effective_tops_per_watt
 from repro.dse.evaluate import EvalSettings, category_speedup
-from repro.dse.report import format_table
+from repro.dse.explorer import DESIGN_SPACES, design_space, space_categories, space_label
+from repro.dse.report import format_table, select_optimal, sweep_rows, sweep_table
 from repro.hw.cost import cost_of, gated_power_mw, griffin_category_power_mw, griffin_cost
+from repro.runtime import SweepRunner
 from repro.sim.engine import SimulationOptions, simulate_network
 from repro.workloads.registry import benchmark, benchmark_names
 
@@ -106,6 +115,66 @@ def cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_sweep(args: argparse.Namespace) -> int:
+    configs = design_space(args.space)
+    if args.limit:
+        configs = configs[: args.limit]
+    sparse_cat, dense_cat = space_categories(args.space)
+    categories = tuple(args.category) if args.category else (sparse_cat, dense_cat)
+
+    if args.quick:
+        options = SimulationOptions(passes_per_gemm=1, max_t_steps=16, seed=args.seed)
+        networks = tuple(args.network) if args.network else ("BERT", "AlexNet")
+    else:
+        options = _options(args)
+        networks = tuple(args.network) if args.network else None
+    settings = EvalSettings(quick=not args.full, options=options, networks=networks)
+
+    def progress(done: int, total: int) -> None:
+        print(f"  evaluated {done}/{total} design points", file=sys.stderr)
+
+    runner = SweepRunner(
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+        use_cache=not args.no_cache,
+        progress=progress if args.progress else None,
+    )
+    outcome = runner.run(configs, categories, settings)
+
+    title = (
+        f"{space_label(args.space)} sweep: {len(outcome)} design points, "
+        f"categories {[c.value for c in categories]}"
+    )
+    print(sweep_table(outcome.evaluations, categories, title=title))
+
+    if sparse_cat in categories and dense_cat in categories and outcome.evaluations:
+        star = select_optimal(outcome.evaluations, sparse_cat, dense_cat)
+        print(f"optimal point ({sparse_cat.value} vs {dense_cat.value}): {star.label}")
+
+    stats = outcome.cache_stats
+    if args.no_cache:
+        print("persistent cache: disabled")
+    else:
+        print(
+            f"persistent cache: {stats.hits} hits, {stats.misses} misses, "
+            f"{stats.puts} puts ({100.0 * stats.hit_rate:.1f}% hit rate) "
+            f"[{runner.cache_dir}]"
+        )
+
+    if args.json_path:
+        payload = {
+            "space": args.space,
+            "categories": [c.value for c in categories],
+            "workers": outcome.workers,
+            "rows": sweep_rows(outcome.evaluations, categories),
+            "cache": stats.as_dict(),
+        }
+        with open(args.json_path, "w") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"wrote {args.json_path}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="Griffin (HPCA 2022) reproduction toolkit"
@@ -135,12 +204,61 @@ def build_parser() -> argparse.ArgumentParser:
     cmp_.add_argument("--full", action="store_true", help="use the full 6-net suite")
     common(cmp_)
     cmp_.set_defaults(func=cmd_compare)
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="evaluate a design space in parallel with the persistent cache",
+    )
+    sweep.add_argument(
+        "--space", choices=sorted(DESIGN_SPACES), default="b",
+        help="which Fig. 5-7 space to sweep",
+    )
+    sweep.add_argument(
+        "--category", type=_category, action="append",
+        help="categories to evaluate (default: the space's sparse one + DNN.dense)",
+    )
+    sweep.add_argument(
+        "--workers", type=int, default=0,
+        help="worker processes; 0 evaluates serially in-process",
+    )
+    sweep.add_argument("--full", action="store_true", help="use the full 6-net suite")
+    sweep.add_argument(
+        "--quick", action="store_true",
+        help="smoke mode: minimal sampling, BERT+AlexNet suite (overrides --passes/--max-t)",
+    )
+    sweep.add_argument(
+        "--network", action="append", choices=benchmark_names(),
+        help="restrict the suite to these benchmarks",
+    )
+    sweep.add_argument(
+        "--limit", type=int, default=0, help="evaluate only the first N design points"
+    )
+    sweep.add_argument(
+        "--cache-dir", dest="cache_dir", default=None,
+        help="persistent cache root (default: $REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
+    sweep.add_argument(
+        "--no-cache", action="store_true", help="disable the persistent cache"
+    )
+    sweep.add_argument(
+        "--json", dest="json_path", default=None,
+        help="also write the figure-ready rows to this JSON file",
+    )
+    sweep.add_argument(
+        "--progress", action="store_true", help="report progress on stderr"
+    )
+    common(sweep)
+    sweep.set_defaults(func=cmd_sweep)
     return parser
 
 
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

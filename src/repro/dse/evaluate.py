@@ -24,16 +24,27 @@ class EvalSettings:
     ``quick`` trims the suite to three representative benchmarks and uses
     lighter tile sampling -- what the checked-in benchmarks run by default
     so a full figure regenerates in minutes.  Construct with
-    ``quick=False`` for the full six-network Table IV suite.
+    ``quick=False`` for the full six-network Table IV suite.  ``networks``
+    restricts the suite to the named benchmarks regardless of ``quick``
+    (used by ``repro sweep --network`` and the fast test sweeps).
     """
 
     quick: bool = True
     options: SimulationOptions = field(
         default_factory=lambda: SimulationOptions(passes_per_gemm=3, max_t_steps=64)
     )
+    networks: tuple[str, ...] | None = None
 
     def suite(self, category: ModelCategory) -> list[BenchmarkInfo]:
         infos = [b for b in BENCHMARKS if category in b.categories()]
+        if self.networks is not None:
+            wanted = {name.lower() for name in self.networks}
+            picked = [b for b in infos if b.name.lower() in wanted]
+            if not picked:
+                raise ValueError(
+                    f"none of {self.networks} exercises {category.value}"
+                )
+            return picked
         if self.quick:
             keep = {"AlexNet", "ResNet50", "BERT"}
             quick_infos = [b for b in infos if b.name in keep]

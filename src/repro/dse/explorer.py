@@ -11,7 +11,9 @@ and ``da1 > 2`` inflates the BBUF).
 
 from __future__ import annotations
 
-from repro.config import ArchConfig, sparse_a, sparse_ab, sparse_b
+from typing import Callable
+
+from repro.config import ArchConfig, ModelCategory, sparse_a, sparse_ab, sparse_b
 from repro.core.overhead import overhead_of
 
 
@@ -82,3 +84,51 @@ def sparse_ab_space(
                         if overhead_of(config).amux_fanin <= max_amux_fanin:
                             configs.append(config)
     return configs
+
+
+#: The named design spaces ``repro sweep`` can drive.
+DESIGN_SPACES: dict[str, Callable[[], list[ArchConfig]]] = {
+    "a": sparse_a_space,
+    "b": sparse_b_space,
+    "ab": sparse_ab_space,
+}
+
+#: The sparse model category each space targets (its dense companion is
+#: always evaluated alongside for the paper's efficiency-compromise rule).
+SPACE_CATEGORIES: dict[str, ModelCategory] = {
+    "a": ModelCategory.A,
+    "b": ModelCategory.B,
+    "ab": ModelCategory.AB,
+}
+
+#: Human-readable titles, keyed like :data:`DESIGN_SPACES`.
+SPACE_LABELS: dict[str, str] = {
+    "a": "Fig. 6 Sparse.A",
+    "b": "Fig. 5 Sparse.B",
+    "ab": "Fig. 7 Sparse.AB",
+}
+
+
+def space_label(name: str) -> str:
+    """Display title of a named space (graceful for future spaces)."""
+    return SPACE_LABELS.get(name.lower(), f"Sparse.{name.upper()} space")
+
+
+def design_space(name: str) -> list[ArchConfig]:
+    """Look a sweep space up by name (``"a"``, ``"b"`` or ``"ab"``)."""
+    try:
+        return DESIGN_SPACES[name.lower()]()
+    except KeyError:
+        raise ValueError(
+            f"unknown design space {name!r}; choose from {sorted(DESIGN_SPACES)}"
+        ) from None
+
+
+def space_categories(name: str) -> tuple[ModelCategory, ModelCategory]:
+    """(sparse, dense) category pair a named space is scored on."""
+    try:
+        return (SPACE_CATEGORIES[name.lower()], ModelCategory.DENSE)
+    except KeyError:
+        raise ValueError(
+            f"unknown design space {name!r}; choose from {sorted(SPACE_CATEGORIES)}"
+        ) from None

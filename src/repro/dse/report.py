@@ -16,6 +16,38 @@ from repro.dse.evaluate import DesignEvaluation
 from repro.dse.pareto import pareto_front
 
 
+def sweep_rows(
+    evaluations: Sequence[DesignEvaluation],
+    categories: Sequence[ModelCategory],
+) -> list[dict[str, object]]:
+    """Figure-ready rows of a sweep: one per design, metrics per category.
+
+    The row layout matches what the Fig. 5-7 panels plot -- speedup and
+    effective TOPS/W / TOPS/mm^2 of every design on every evaluated
+    category -- and serializes directly to JSON for external plotting.
+    """
+    rows: list[dict[str, object]] = []
+    for evaluation in evaluations:
+        row: dict[str, object] = {"Config": evaluation.label}
+        for category in categories:
+            point = evaluation.point(category)
+            tag = category.value.removeprefix("DNN.")
+            row[f"{tag} speedup"] = point.speedup
+            row[f"{tag} TOPS/W"] = point.tops_per_watt
+            row[f"{tag} TOPS/mm2"] = point.tops_per_mm2
+        rows.append(row)
+    return rows
+
+
+def sweep_table(
+    evaluations: Sequence[DesignEvaluation],
+    categories: Sequence[ModelCategory],
+    title: str = "",
+) -> str:
+    """Render a sweep as an aligned ASCII table (one row per design)."""
+    return format_table(sweep_rows(evaluations, categories), title=title)
+
+
 def format_table(rows: Sequence[Mapping[str, object]], title: str = "") -> str:
     """Render mappings as an aligned ASCII table (benchmark output)."""
     if not rows:

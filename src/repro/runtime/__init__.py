@@ -1,0 +1,28 @@
+"""Sweep runtime: parallel design-space execution + persistent result cache.
+
+The runtime package turns the serial, process-lifetime-memoized evaluation
+loop into an incremental, parallel one:
+
+* :class:`~repro.runtime.cache.PersistentLayerCache` stores every simulated
+  layer on disk, content-addressed by the engine's simulation key;
+* :class:`~repro.runtime.runner.SweepRunner` fans design-point evaluations
+  out over worker processes with deterministic chunking, so any worker
+  count reproduces the serial results bit for bit.
+"""
+
+from repro.runtime.cache import (
+    CACHE_DIR_ENV,
+    CacheStats,
+    PersistentLayerCache,
+    default_cache_dir,
+)
+from repro.runtime.runner import SweepOutcome, SweepRunner
+
+__all__ = [
+    "CACHE_DIR_ENV",
+    "CacheStats",
+    "PersistentLayerCache",
+    "SweepOutcome",
+    "SweepRunner",
+    "default_cache_dir",
+]

@@ -1,0 +1,240 @@
+"""Content-addressed persistent cache of simulated layer results.
+
+Layer simulations are pure functions of the :func:`repro.sim.engine.simulation_key`
+inputs, so their results can be stored on disk and reused across processes
+and sessions: a design-space sweep that re-runs after a crash, a warm
+re-generation of a figure, or a pool of worker processes all hit the same
+store.  Entries are one JSON file per key, sharded by key prefix::
+
+    <root>/layers/<key[:2]>/<key>.json
+
+Writes are atomic (temp file + rename) so concurrent workers may race on
+the same key without corrupting it -- last writer wins and every winner
+wrote identical bytes.  Unreadable or corrupt entries are treated as misses
+and recomputed (and counted in :attr:`CacheStats.errors`).
+
+The root directory defaults to ``$REPRO_CACHE_DIR`` or ``~/.cache/repro``.
+Delete the directory (or call :meth:`PersistentLayerCache.clear`) to
+invalidate; the engine also versions keys with
+:data:`repro.sim.engine.SIMULATION_KEY_VERSION`, so stale schema entries
+are simply never looked up again.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.gemm.layers import GemmShape
+from repro.sim.engine import GemmSimResult, LayerSimResult
+
+#: Environment variable overriding the default cache root.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: On-disk entry schema version (independent of the simulation-key version).
+ENTRY_VERSION = 1
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR`` if set, else ``~/.cache/repro``."""
+    env = os.environ.get(CACHE_DIR_ENV)
+    if env:
+        return Path(env).expanduser()
+    return Path.home() / ".cache" / "repro"
+
+
+@dataclass
+class CacheStats:
+    """Counters of one cache's activity (or an aggregate over workers)."""
+
+    hits: int = 0
+    misses: int = 0
+    puts: int = 0
+    errors: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from disk (0.0 when none happened)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def merge(self, other: "CacheStats") -> None:
+        self.hits += other.hits
+        self.misses += other.misses
+        self.puts += other.puts
+        self.errors += other.errors
+
+    def snapshot(self) -> "CacheStats":
+        return CacheStats(self.hits, self.misses, self.puts, self.errors)
+
+    def delta(self, since: "CacheStats") -> "CacheStats":
+        """Activity that happened after ``since`` was snapshotted."""
+        return CacheStats(
+            self.hits - since.hits,
+            self.misses - since.misses,
+            self.puts - since.puts,
+            self.errors - since.errors,
+        )
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "puts": self.puts,
+            "errors": self.errors,
+        }
+
+    @staticmethod
+    def from_dict(data: dict[str, int]) -> "CacheStats":
+        return CacheStats(
+            hits=int(data.get("hits", 0)),
+            misses=int(data.get("misses", 0)),
+            puts=int(data.get("puts", 0)),
+            errors=int(data.get("errors", 0)),
+        )
+
+
+def _gemm_shape_to_dict(shape: GemmShape) -> dict:
+    return {
+        "m": shape.m,
+        "k": shape.k,
+        "n": shape.n,
+        "repeats": shape.repeats,
+        "weight_is_dynamic": shape.weight_is_dynamic,
+        "channels": shape.channels,
+    }
+
+
+def _gemm_shape_from_dict(data: dict) -> GemmShape:
+    return GemmShape(
+        m=int(data["m"]),
+        k=int(data["k"]),
+        n=int(data["n"]),
+        repeats=int(data["repeats"]),
+        weight_is_dynamic=bool(data["weight_is_dynamic"]),
+        channels=int(data["channels"]),
+    )
+
+
+def result_to_dict(result: LayerSimResult) -> dict:
+    """JSON-serializable form of a layer result (exact float round-trip)."""
+    return {
+        "v": ENTRY_VERSION,
+        "name": result.name,
+        "cycles": result.cycles,
+        "dense_cycles": result.dense_cycles,
+        "gemms": [
+            {
+                "shape": _gemm_shape_to_dict(g.shape),
+                "cycles": g.cycles,
+                "dense_cycles": g.dense_cycles,
+                "sampled_passes": g.sampled_passes,
+            }
+            for g in result.gemms
+        ],
+    }
+
+
+def result_from_dict(data: dict) -> LayerSimResult:
+    """Inverse of :func:`result_to_dict`; raises on any malformed entry."""
+    if data.get("v") != ENTRY_VERSION:
+        raise ValueError(f"unsupported cache entry version: {data.get('v')!r}")
+    gemms = tuple(
+        GemmSimResult(
+            shape=_gemm_shape_from_dict(g["shape"]),
+            cycles=float(g["cycles"]),
+            dense_cycles=int(g["dense_cycles"]),
+            sampled_passes=int(g["sampled_passes"]),
+        )
+        for g in data["gemms"]
+    )
+    return LayerSimResult(
+        name=str(data["name"]),
+        cycles=float(data["cycles"]),
+        dense_cycles=int(data["dense_cycles"]),
+        gemms=gemms,
+    )
+
+
+class PersistentLayerCache:
+    """Disk-backed :class:`repro.sim.engine.LayerResultCache` implementation."""
+
+    def __init__(self, root: str | os.PathLike | None = None) -> None:
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self.stats = CacheStats()
+
+    @property
+    def layers_dir(self) -> Path:
+        return self.root / "layers"
+
+    def path_for(self, key: str) -> Path:
+        return self.layers_dir / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> LayerSimResult | None:
+        path = self.path_for(key)
+        try:
+            text = path.read_text()
+        except OSError:
+            self.stats.misses += 1
+            return None
+        try:
+            result = result_from_dict(json.loads(text))
+        except (ValueError, KeyError, TypeError):
+            # Corrupt or stale-schema entry: drop it and recompute.
+            self.stats.errors += 1
+            self.stats.misses += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        self.stats.hits += 1
+        return result
+
+    def put(self, key: str, result: LayerSimResult) -> None:
+        path = self.path_for(key)
+        payload = json.dumps(result_to_dict(result), separators=(",", ":"))
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                dir=path.parent, prefix=f".{key[:8]}.", suffix=".tmp"
+            )
+            try:
+                with os.fdopen(fd, "w") as handle:
+                    handle.write(payload)
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            # A read-only or full disk never fails the simulation.
+            self.stats.errors += 1
+            return
+        self.stats.puts += 1
+
+    def __len__(self) -> int:
+        if not self.layers_dir.is_dir():
+            return 0
+        return sum(1 for _ in self.layers_dir.glob("*/*.json"))
+
+    def clear(self) -> int:
+        """Delete every cached layer entry; returns how many were removed."""
+        removed = 0
+        if not self.layers_dir.is_dir():
+            return 0
+        for entry in self.layers_dir.glob("*/*.json"):
+            try:
+                entry.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed

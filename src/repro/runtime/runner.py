@@ -1,0 +1,195 @@
+"""Parallel, cache-backed execution of design-space sweeps.
+
+:class:`SweepRunner` fans the evaluation of a list of design points out
+over a :class:`concurrent.futures.ProcessPoolExecutor`.  Chunking is
+deterministic in (number of points, chunk size) and results are reassembled
+in input order, so the outcome is identical to the serial loop for any
+worker count -- every evaluation is an independent, seed-deterministic
+function of its design point.
+
+Each worker process installs a :class:`repro.runtime.cache.PersistentLayerCache`
+rooted at the runner's cache directory, so layer simulations computed by one
+worker (or a previous run) are read from disk instead of recomputed.  The
+per-chunk cache-activity deltas are shipped back with the results and
+aggregated into :attr:`SweepOutcome.cache_stats`.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.config import ArchConfig, ModelCategory
+from repro.dse.evaluate import DesignEvaluation, EvalSettings, evaluate_arch
+from repro.runtime.cache import CacheStats, PersistentLayerCache, default_cache_dir
+from repro.sim import engine
+
+#: Progress callback: (completed design points, total design points).
+ProgressFn = Callable[[int, int], None]
+
+
+@dataclass(frozen=True)
+class SweepOutcome:
+    """Results and bookkeeping of one sweep run."""
+
+    evaluations: tuple[DesignEvaluation, ...]
+    cache_stats: CacheStats
+    workers: int
+    chunks: int
+
+    def __len__(self) -> int:
+        return len(self.evaluations)
+
+
+def _worker_init(cache_dir: str | None) -> None:
+    # Install the runner's cache -- or explicitly none, so a fork-inherited
+    # global cache cannot leak into a use_cache=False run.
+    cache = PersistentLayerCache(cache_dir) if cache_dir is not None else None
+    engine.set_persistent_cache(cache)
+
+
+def _evaluate_chunk(
+    payload: tuple[tuple[int, ...], tuple[ArchConfig, ...],
+                   tuple[ModelCategory, ...], EvalSettings],
+) -> tuple[tuple[int, ...], list[DesignEvaluation], dict[str, int]]:
+    """Evaluate one chunk of design points (runs inside a worker process)."""
+    indices, configs, categories, settings = payload
+    cache = engine.get_persistent_cache()
+    before = cache.stats.snapshot() if isinstance(cache, PersistentLayerCache) else None
+    evaluations = [evaluate_arch(config, categories, settings) for config in configs]
+    if before is not None:
+        stats = cache.stats.delta(before)
+    else:
+        stats = CacheStats()
+    return indices, evaluations, stats.as_dict()
+
+
+def chunk_indices(n_items: int, chunk_size: int) -> list[tuple[int, ...]]:
+    """Deterministic contiguous chunking of ``range(n_items)``."""
+    if chunk_size < 1:
+        raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+    return [
+        tuple(range(start, min(start + chunk_size, n_items)))
+        for start in range(0, n_items, chunk_size)
+    ]
+
+
+def default_chunk_size(n_items: int, workers: int) -> int:
+    """About four chunks per worker: coarse enough to amortize process
+    startup, fine enough that stragglers do not idle the pool."""
+    if n_items <= 0:
+        return 1
+    return max(1, -(-n_items // max(1, workers * 4)))
+
+
+class SweepRunner:
+    """Run design-point evaluations in parallel with a persistent cache.
+
+    Args:
+        workers: process count; ``0`` or ``1`` evaluates serially in-process
+            (still through the persistent cache).
+        cache_dir: root of the persistent layer cache; ``None`` picks
+            ``$REPRO_CACHE_DIR`` or ``~/.cache/repro``.
+        use_cache: disable the persistent cache entirely with ``False``.
+        chunk_size: design points per task; defaults to
+            :func:`default_chunk_size`.
+        progress: optional callback invoked with (done, total) as chunks
+            complete.
+    """
+
+    def __init__(
+        self,
+        workers: int = 0,
+        cache_dir: str | os.PathLike | None = None,
+        use_cache: bool = True,
+        chunk_size: int | None = None,
+        progress: ProgressFn | None = None,
+    ) -> None:
+        if workers < 0:
+            raise ValueError(f"workers must be >= 0, got {workers}")
+        self.workers = workers
+        self.use_cache = use_cache
+        self.cache_dir = (
+            str(cache_dir if cache_dir is not None else default_cache_dir())
+            if use_cache
+            else None
+        )
+        self.chunk_size = chunk_size
+        self.progress = progress
+
+    def run(
+        self,
+        configs: Sequence[ArchConfig],
+        categories: Sequence[ModelCategory],
+        settings: EvalSettings | None = None,
+    ) -> SweepOutcome:
+        """Evaluate every config on every category; order-preserving."""
+        settings = settings or EvalSettings()
+        configs = tuple(configs)
+        categories = tuple(categories)
+        if not configs:
+            return SweepOutcome((), CacheStats(), self.workers, 0)
+        if self.workers <= 1:
+            return self._run_serial(configs, categories, settings)
+        return self._run_parallel(configs, categories, settings)
+
+    def _run_serial(
+        self,
+        configs: tuple[ArchConfig, ...],
+        categories: tuple[ModelCategory, ...],
+        settings: EvalSettings,
+    ) -> SweepOutcome:
+        cache = PersistentLayerCache(self.cache_dir) if self.cache_dir is not None else None
+        # Install the runner's cache -- or explicitly none, so a previously
+        # installed global cache cannot leak into a use_cache=False run.
+        previous = engine.set_persistent_cache(cache)
+        try:
+            evaluations = []
+            for done, config in enumerate(configs, start=1):
+                evaluations.append(evaluate_arch(config, categories, settings))
+                self._report(done, len(configs))
+            stats = cache.stats.snapshot() if cache is not None else CacheStats()
+            return SweepOutcome(tuple(evaluations), stats, self.workers, 1)
+        finally:
+            engine.set_persistent_cache(previous)
+
+    def _run_parallel(
+        self,
+        configs: tuple[ArchConfig, ...],
+        categories: tuple[ModelCategory, ...],
+        settings: EvalSettings,
+    ) -> SweepOutcome:
+        size = self.chunk_size or default_chunk_size(len(configs), self.workers)
+        chunks = chunk_indices(len(configs), size)
+        results: list[DesignEvaluation | None] = [None] * len(configs)
+        stats = CacheStats()
+        done_points = 0
+        with ProcessPoolExecutor(
+            max_workers=min(self.workers, len(chunks)),
+            initializer=_worker_init,
+            initargs=(self.cache_dir,),
+        ) as pool:
+            pending = {
+                pool.submit(
+                    _evaluate_chunk,
+                    (chunk, tuple(configs[i] for i in chunk), categories, settings),
+                )
+                for chunk in chunks
+            }
+            while pending:
+                finished, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for future in finished:
+                    indices, evaluations, chunk_stats = future.result()
+                    for index, evaluation in zip(indices, evaluations):
+                        results[index] = evaluation
+                    stats.merge(CacheStats.from_dict(chunk_stats))
+                    done_points += len(indices)
+                    self._report(done_points, len(configs))
+        assert all(r is not None for r in results)
+        return SweepOutcome(tuple(results), stats, self.workers, len(chunks))
+
+    def _report(self, done: int, total: int) -> None:
+        if self.progress is not None:
+            self.progress(done, total)

@@ -17,8 +17,9 @@ seed, and layer results are memoized on the full simulation key.
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from functools import lru_cache
+from typing import Protocol
 
 import numpy as np
 
@@ -328,18 +329,94 @@ def _apply_stalls(
     return cycles
 
 
-@lru_cache(maxsize=32768)
-def _simulate_layer_cached(
+class LayerResultCache(Protocol):
+    """A persistent store for simulated layers, keyed by :func:`simulation_key`.
+
+    ``get`` returns ``None`` on a miss (including unreadable or corrupt
+    entries -- the engine then recomputes and overwrites).  Implementations
+    live outside the engine (see :mod:`repro.runtime.cache`); the engine only
+    knows this protocol so the dependency points runtime -> sim.
+    """
+
+    def get(self, key: str) -> LayerSimResult | None: ...
+
+    def put(self, key: str, result: LayerSimResult) -> None: ...
+
+
+_persistent_cache: LayerResultCache | None = None
+
+#: Version tag of the simulation-key schema.  Bump whenever the simulation
+#: semantics change in a way that invalidates previously cached results.
+SIMULATION_KEY_VERSION = "layer-sim-v1"
+
+
+def simulation_key(
     gemms: tuple[GemmShape, ...],
     weight_density: float,
     act_density: float,
-    name: str,
+    config: ArchConfig,
+    category: ModelCategory,
+    options: SimulationOptions,
+) -> str:
+    """Content-addressed key of one layer simulation.
+
+    Covers exactly the inputs the simulation depends on: the GEMM shapes,
+    the layer densities, the borrowing configuration (distances, shuffle,
+    geometry -- but *not* the display name), the model category and the
+    sampling options.  Stable across processes and sessions, so it doubles
+    as the on-disk key of the persistent result cache.
+    """
+    geometry = config.geometry
+    parts = [
+        SIMULATION_KEY_VERSION,
+        ";".join(
+            f"{g.m},{g.k},{g.n},{g.repeats},{int(g.weight_is_dynamic)},{g.channels}"
+            for g in gemms
+        ),
+        repr(float(weight_density)),
+        repr(float(act_density)),
+        f"a={config.a.as_tuple()}",
+        f"b={config.b.as_tuple()}",
+        f"shuffle={int(config.shuffle)}",
+        f"geom={geometry.k0},{geometry.n0},{geometry.m0},"
+        f"{geometry.frequency_mhz!r},{geometry.precision_bits}",
+        category.value,
+        f"opts={options.passes_per_gemm},{options.max_t_steps},{options.seed},"
+        f"{options.pipeline_drain},{int(options.include_stalls)},{int(options.include_dram)}",
+    ]
+    return hashlib.sha256("|".join(parts).encode()).hexdigest()
+
+
+def set_persistent_cache(cache: LayerResultCache | None) -> LayerResultCache | None:
+    """Install (or remove, with ``None``) the persistent layer-result cache.
+
+    Returns the previously installed cache so callers can restore it.
+    """
+    global _persistent_cache
+    previous = _persistent_cache
+    _persistent_cache = cache
+    return previous
+
+
+def get_persistent_cache() -> LayerResultCache | None:
+    return _persistent_cache
+
+
+def clear_memo_cache() -> None:
+    """Drop the in-process layer memoization (not the persistent cache)."""
+    _simulate_layer_cached.cache_clear()
+
+
+def _compute_layer(
+    gemms: tuple[GemmShape, ...],
+    weight_density: float,
+    act_density: float,
     config: ArchConfig,
     category: ModelCategory,
     options: SimulationOptions,
 ) -> LayerSimResult:
     layer = NetworkLayer(
-        spec=RawGemmSpec(name=name, shapes=gemms),
+        spec=RawGemmSpec(name="layer", shapes=gemms),
         weight_density=weight_density,
         act_density=act_density,
     )
@@ -358,7 +435,29 @@ def _simulate_layer_cached(
         results.append(res)
         cycles += res.cycles
         dense += res.dense_cycles
-    return LayerSimResult(name=name, cycles=cycles, dense_cycles=dense, gemms=tuple(results))
+    return LayerSimResult(name="layer", cycles=cycles, dense_cycles=dense, gemms=tuple(results))
+
+
+@lru_cache(maxsize=32768)
+def _simulate_layer_cached(
+    gemms: tuple[GemmShape, ...],
+    weight_density: float,
+    act_density: float,
+    config: ArchConfig,
+    category: ModelCategory,
+    options: SimulationOptions,
+) -> LayerSimResult:
+    cache = _persistent_cache
+    key = None
+    if cache is not None:
+        key = simulation_key(gemms, weight_density, act_density, config, category, options)
+        hit = cache.get(key)
+        if hit is not None:
+            return hit
+    result = _compute_layer(gemms, weight_density, act_density, config, category, options)
+    if cache is not None and key is not None:
+        cache.put(key, result)
+    return result
 
 
 def simulate_layer(
@@ -370,18 +469,21 @@ def simulate_layer(
     """Simulate one layer; results are memoized on the full key.
 
     The cache key deliberately excludes the layer *name*, so topologically
-    repeated blocks (ResNet stages, BERT encoders) simulate once.
+    repeated blocks (ResNet stages, BERT encoders) simulate once; the
+    returned result nevertheless carries the layer's real display name.
     """
     options = options or SimulationOptions()
-    return _simulate_layer_cached(
+    result = _simulate_layer_cached(
         tuple(layer.spec.gemms()),
         layer.weight_density,
         layer.act_density,
-        "layer",
         config,
         category,
         options,
     )
+    if result.name != layer.name:
+        result = replace(result, name=layer.name)
+    return result
 
 
 def simulate_network(
@@ -397,9 +499,6 @@ def simulate_network(
     dense = 0
     for layer in network.layers:
         res = simulate_layer(layer, config, category, options)
-        res = LayerSimResult(
-            name=layer.name, cycles=res.cycles, dense_cycles=res.dense_cycles, gemms=res.gemms
-        )
         layer_results.append(res)
         cycles += res.cycles
         dense += res.dense_cycles

@@ -59,3 +59,49 @@ class TestCommands:
         assert code == 0
         out = capsys.readouterr().out
         assert "TOPS/W" in out and "Baseline" in out
+
+
+class TestSweepCommand:
+    def test_rejects_unknown_space(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "--space", "c"])
+
+    def test_quick_sweep_cold_then_warm(self, capsys, tmp_path, monkeypatch):
+        from repro.sim import engine
+
+        monkeypatch.setattr(engine, "_persistent_cache", None)
+        engine.clear_memo_cache()
+        argv = [
+            "sweep", "--space", "b", "--quick", "--limit", "4",
+            "--network", "BERT", "--cache-dir", str(tmp_path),
+        ]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert "Fig. 5 Sparse.B sweep: 4 design points" in cold
+        assert "optimal point" in cold
+        assert "persistent cache: 0 hits" in cold
+
+        engine.clear_memo_cache()
+        assert main(argv + ["--json", str(tmp_path / "fig5.json")]) == 0
+        warm = capsys.readouterr().out
+        assert "0 misses" in warm and "100.0% hit rate" in warm
+        # Identical efficiency numbers on the warm, cache-served path.
+        assert warm.split("optimal point")[0] == cold.split("optimal point")[0]
+
+        import json
+
+        payload = json.loads((tmp_path / "fig5.json").read_text())
+        assert payload["space"] == "b" and len(payload["rows"]) == 4
+        assert payload["cache"]["hits"] > 0
+
+    def test_no_cache_flag(self, capsys, tmp_path, monkeypatch):
+        from repro.sim import engine
+
+        monkeypatch.setattr(engine, "_persistent_cache", None)
+        engine.clear_memo_cache()
+        code = main(
+            ["sweep", "--space", "b", "--quick", "--limit", "2",
+             "--network", "BERT", "--no-cache"]
+        )
+        assert code == 0
+        assert "persistent cache: disabled" in capsys.readouterr().out

@@ -122,6 +122,42 @@ class TestSimulateNetwork:
         assert info.misses <= 4
         assert info.hits >= 20
 
+    def test_layer_results_keep_real_names(self):
+        res = simulate_network(alexnet(), sparse_b(4, 0, 0), ModelCategory.B, FAST)
+        assert [l.name for l in res.layers][:3] == ["conv1", "conv2", "conv3"]
+
+
+class TestSimulateLayerNames:
+    def test_simulate_layer_returns_display_name(self):
+        layer = alexnet().layers[0]
+        res = simulate_layer(layer, sparse_b(4, 0, 0), ModelCategory.B, FAST)
+        assert res.name == "conv1"
+
+    def test_cache_shared_across_names_without_losing_them(self):
+        # Two layers identical up to the display name must share one cache
+        # entry yet each come back under their own name.
+        from repro.gemm.layers import GemmShape
+        from repro.sim.engine import _simulate_layer_cached
+        from repro.workloads.models import NetworkLayer, RawGemmSpec
+
+        shapes = (GemmShape(m=48, k=160, n=48),)
+        first = NetworkLayer(
+            spec=RawGemmSpec(name="enc0.attn", shapes=shapes),
+            weight_density=0.3, act_density=1.0,
+        )
+        twin = NetworkLayer(
+            spec=RawGemmSpec(name="enc7.attn", shapes=shapes),
+            weight_density=0.3, act_density=1.0,
+        )
+        _simulate_layer_cached.cache_clear()
+        res_a = simulate_layer(first, sparse_b(4, 0, 0), ModelCategory.B, FAST)
+        res_b = simulate_layer(twin, sparse_b(4, 0, 0), ModelCategory.B, FAST)
+        info = _simulate_layer_cached.cache_info()
+        assert info.misses == 1 and info.hits == 1
+        assert res_a.name == "enc0.attn" and res_b.name == "enc7.attn"
+        assert res_a.cycles == res_b.cycles
+        assert res_a.gemms == res_b.gemms
+
 
 class TestGriffinMorphPerformance:
     def test_conf_b_beats_downgraded_dual_on_dnn_b(self):

@@ -1,0 +1,198 @@
+"""Invariant tests for the parallel sweep runner.
+
+The load-bearing guarantees:
+
+* a full ``sparse_b_space`` sweep through :class:`SweepRunner` is
+  bitwise-identical to the serial loop for any worker count and chunking
+  (same seeds -- every evaluation is an independent deterministic function
+  of its design point);
+* a second invocation against the same cache directory is served almost
+  entirely from the persistent cache (>= 90% hit rate, the PR's
+  acceptance bar).
+
+The suite is restricted to BERT (the cheapest Table IV benchmark: two
+unique encoder layers) so the *full* 42-point configuration space stays
+affordable; the invariants do not depend on which network is simulated.
+"""
+
+import pytest
+
+from repro.config import ModelCategory, sparse_b
+from repro.dse.evaluate import EvalSettings
+from repro.dse.explorer import design_space, sparse_b_space
+from repro.runtime.runner import SweepRunner, chunk_indices, default_chunk_size
+from repro.sim import engine
+from repro.sim.engine import SimulationOptions
+
+CHEAP = SimulationOptions(passes_per_gemm=1, max_t_steps=16, seed=5)
+SETTINGS = EvalSettings(quick=True, options=CHEAP, networks=("BERT",))
+CATEGORIES = (ModelCategory.B, ModelCategory.DENSE)
+
+
+@pytest.fixture
+def cold_engine():
+    """No inherited memoization or persistent cache; restore afterwards."""
+    previous = engine.set_persistent_cache(None)
+    engine.clear_memo_cache()
+    yield
+    engine.clear_memo_cache()
+    engine.set_persistent_cache(previous)
+
+
+class TestChunking:
+    def test_partition_is_exact_and_ordered(self):
+        chunks = chunk_indices(10, 3)
+        assert chunks == [(0, 1, 2), (3, 4, 5), (6, 7, 8), (9,)]
+        assert [i for chunk in chunks for i in chunk] == list(range(10))
+
+    def test_deterministic(self):
+        assert chunk_indices(42, 5) == chunk_indices(42, 5)
+
+    def test_rejects_bad_size(self):
+        with pytest.raises(ValueError):
+            chunk_indices(5, 0)
+
+    def test_default_size_gives_several_chunks_per_worker(self):
+        assert default_chunk_size(42, 4) == 3
+        assert default_chunk_size(1, 8) == 1
+        assert default_chunk_size(0, 4) == 1
+
+
+class TestRunnerBasics:
+    def test_rejects_negative_workers(self):
+        with pytest.raises(ValueError):
+            SweepRunner(workers=-1)
+
+    def test_empty_sweep(self, cold_engine):
+        outcome = SweepRunner(workers=0, use_cache=False).run([], CATEGORIES)
+        assert outcome.evaluations == () and len(outcome) == 0
+
+    def test_progress_reported_serially(self, cold_engine, tmp_path):
+        seen = []
+        runner = SweepRunner(
+            workers=0, cache_dir=tmp_path, progress=lambda d, t: seen.append((d, t))
+        )
+        configs = sparse_b_space()[:3]
+        runner.run(configs, (ModelCategory.B,), SETTINGS)
+        assert seen == [(1, 3), (2, 3), (3, 3)]
+
+
+class TestParallelEqualsSerial:
+    """The tentpole invariant, over the full Fig. 5 configuration space."""
+
+    @pytest.fixture(scope="class")
+    def serial_outcome(self):
+        previous = engine.set_persistent_cache(None)
+        engine.clear_memo_cache()
+        try:
+            runner = SweepRunner(workers=0, use_cache=False)
+            yield runner.run(design_space("b"), CATEGORIES, SETTINGS)
+        finally:
+            engine.clear_memo_cache()
+            engine.set_persistent_cache(previous)
+
+    def test_full_space_is_covered(self, serial_outcome):
+        configs = design_space("b")
+        assert len(configs) == len(serial_outcome)
+        assert [e.label for e in serial_outcome.evaluations] == [
+            c.label for c in configs
+        ]
+
+    def test_workers_4_bitwise_identical_then_90pct_cached(
+        self, serial_outcome, cold_engine, tmp_path
+    ):
+        configs = design_space("b")
+        progress = []
+        first = SweepRunner(
+            workers=4, cache_dir=tmp_path, progress=lambda d, t: progress.append((d, t))
+        ).run(configs, CATEGORIES, SETTINGS)
+        assert first.evaluations == serial_outcome.evaluations
+        assert first.workers == 4 and first.chunks > 1
+        assert progress[-1] == (len(configs), len(configs))
+        assert first.cache_stats.puts > 0
+
+        # Second invocation, fresh processes, same cache dir: the PR's
+        # acceptance bar is >= 90% persistent-cache hits.
+        engine.clear_memo_cache()
+        second = SweepRunner(workers=4, cache_dir=tmp_path).run(
+            configs, CATEGORIES, SETTINGS
+        )
+        assert second.evaluations == serial_outcome.evaluations
+        assert second.cache_stats.lookups > 0
+        assert second.cache_stats.hit_rate >= 0.9
+
+    def test_odd_worker_count_and_chunk_size_identical(
+        self, serial_outcome, cold_engine, tmp_path
+    ):
+        configs = design_space("b")
+        outcome = SweepRunner(workers=3, cache_dir=tmp_path, chunk_size=5).run(
+            configs, CATEGORIES, SETTINGS
+        )
+        assert outcome.evaluations == serial_outcome.evaluations
+
+    def test_serial_with_cache_identical(self, serial_outcome, cold_engine, tmp_path):
+        configs = design_space("b")
+        outcome = SweepRunner(workers=1, cache_dir=tmp_path).run(
+            configs, CATEGORIES, SETTINGS
+        )
+        assert outcome.evaluations == serial_outcome.evaluations
+        # Everything was computed once and written through to disk.
+        assert outcome.cache_stats.puts == outcome.cache_stats.misses > 0
+
+
+class TestNoCache:
+    def test_use_cache_false_overrides_installed_global_cache(self, tmp_path):
+        """A use_cache=False run must neither read nor write a cache that
+        happens to be installed globally (e.g. by a previous runner)."""
+        from repro.runtime.cache import PersistentLayerCache
+
+        installed = PersistentLayerCache(tmp_path)
+        previous = engine.set_persistent_cache(installed)
+        engine.clear_memo_cache()
+        try:
+            outcome = SweepRunner(workers=0, use_cache=False).run(
+                sparse_b_space()[:2], (ModelCategory.B,), SETTINGS
+            )
+            assert outcome.cache_stats.lookups == 0
+            assert installed.stats.lookups == 0 and installed.stats.puts == 0
+            assert len(installed) == 0, "nothing may be written to disk"
+            # The global cache survives the run untouched.
+            assert engine.get_persistent_cache() is installed
+        finally:
+            engine.clear_memo_cache()
+            engine.set_persistent_cache(previous)
+
+    def test_use_cache_false_parallel_workers_write_nothing(self, tmp_path):
+        from repro.runtime.cache import PersistentLayerCache
+
+        installed = PersistentLayerCache(tmp_path)
+        previous = engine.set_persistent_cache(installed)
+        engine.clear_memo_cache()
+        try:
+            # Forked workers inherit the installed cache; _worker_init must
+            # explicitly clear it for a no-cache run.
+            outcome = SweepRunner(workers=2, use_cache=False).run(
+                sparse_b_space()[:4], (ModelCategory.B,), SETTINGS
+            )
+            assert outcome.cache_stats.lookups == 0
+            assert len(installed) == 0, "workers must not write through the fork"
+        finally:
+            engine.clear_memo_cache()
+            engine.set_persistent_cache(previous)
+
+
+class TestCrossProcessReuse:
+    def test_serial_then_parallel_reuses_serial_results(self, cold_engine, tmp_path):
+        configs = sparse_b_space()[:6]
+        serial = SweepRunner(workers=0, cache_dir=tmp_path).run(
+            configs, (ModelCategory.B,), SETTINGS
+        )
+        assert serial.cache_stats.puts > 0
+
+        engine.clear_memo_cache()
+        parallel = SweepRunner(workers=2, cache_dir=tmp_path).run(
+            configs, (ModelCategory.B,), SETTINGS
+        )
+        assert parallel.evaluations == serial.evaluations
+        assert parallel.cache_stats.misses == 0
+        assert parallel.cache_stats.hit_rate == 1.0
