@@ -1,18 +1,21 @@
 """Scenario: pick a weight-sparse design for a pruned-CNN product line.
 
 Walks the Fig. 5 methodology end to end: sweep the constrained Sparse.B
-space, score every point on pruned and dense workloads, extract the Pareto
-front of (DNN.B efficiency, DNN.dense efficiency), and select the starred
-design with the paper's compromise rule.
+space through a cache-backed :class:`repro.Session` (set ``REPRO_WORKERS``
+to fan out over processes), extract the Pareto front of (DNN.B efficiency,
+DNN.dense efficiency), and select the starred design with the paper's
+compromise rule.
 
 Run:  python examples/design_space_sweep.py          (quick suite, ~2 min)
+      REPRO_WORKERS=4 python examples/design_space_sweep.py
       REPRO_FULL_EVAL=1 python examples/design_space_sweep.py
 """
 
 import os
 
+from repro import Session
 from repro.config import ModelCategory
-from repro.dse.evaluate import EvalSettings, evaluate_arch
+from repro.dse.evaluate import EvalSettings
 from repro.dse.explorer import sparse_b_space
 from repro.dse.pareto import pareto_front
 from repro.dse.report import format_table, select_optimal
@@ -28,9 +31,10 @@ def main() -> None:
     space = sparse_b_space(db1_values=(2, 4, 6), max_db2=1, max_db3=2)
     categories = (ModelCategory.B, ModelCategory.DENSE)
 
+    session = Session(workers=int(os.environ.get("REPRO_WORKERS", "0")))
     print(f"sweeping {len(space)} Sparse.B configurations "
           f"({'full' if full else 'quick'} suite)...")
-    evals = [evaluate_arch(cfg, categories, settings) for cfg in space]
+    evals = list(session.evaluate(space, categories, settings).evaluations)
 
     front = pareto_front(
         evals,
@@ -53,6 +57,9 @@ def main() -> None:
     best = select_optimal(evals, ModelCategory.B)
     print(f"\nselected design: {best.label} "
           f"(paper's Table VI pick: B(4,0,1,on))")
+    stats = session.stats
+    print(f"persistent cache: {stats.hits} hits, {stats.misses} misses "
+          f"[{session.cache_dir}]")
 
 
 if __name__ == "__main__":

@@ -9,10 +9,9 @@ dual-sparse design that cannot.
 Run:  python examples/hybrid_deployment.py
 """
 
-from repro import GRIFFIN, ModelCategory, SPARSE_AB_STAR, SimulationOptions, benchmark
+from repro import GRIFFIN, ModelCategory, SPARSE_AB_STAR, Session, SimulationOptions
 from repro.core.metrics import effective_tops_per_watt, geometric_mean
 from repro.hw.cost import cost_of, gated_power_mw, griffin_category_power_mw, griffin_cost
-from repro.sim.engine import simulate_network
 
 #: One representative workload per category, as Table I maps them.
 DEPLOYMENT = [
@@ -27,15 +26,15 @@ def main() -> None:
     options = SimulationOptions(passes_per_gemm=3, max_t_steps=96)
     griffin_row = griffin_cost(GRIFFIN)
     dual_row = cost_of(SPARSE_AB_STAR)
+    session = Session()  # cache-backed: a re-run simulates nothing
 
     print(f"{'category':10s} {'workload':10s} {'Griffin mode':22s} "
           f"{'speedup':>8s} {'TOPS/W':>7s}   vs plain dual-sparse")
     gains = []
     for category, name, description in DEPLOYMENT:
-        net = benchmark(name).network
         mode = GRIFFIN.config_for(category)
-        res = simulate_network(net, mode, category, options)
-        dual = simulate_network(net, SPARSE_AB_STAR, category, options)
+        res = session.simulate(name, GRIFFIN, category, options)
+        dual = session.simulate(name, SPARSE_AB_STAR, category, options)
         # Power is category-dependent: idle sparse machinery clock-gates.
         eff = effective_tops_per_watt(
             res.speedup, griffin_category_power_mw(GRIFFIN, griffin_row, category)

@@ -1,50 +1,50 @@
-"""Quickstart: evaluate one sparse design on one pruned network.
+"""Quickstart: one session, one sparse design, one pruned network.
 
-Builds the paper's starred weight-sparse design ``Sparse.B*(4,0,1,on)``,
-runs pruned ResNet-50 through the cycle simulator, and reports speedup,
-hardware overhead, and effective efficiency against the dense baseline.
+Opens a :class:`repro.Session` -- the unified evaluation entry point,
+backed by the persistent layer-result cache -- runs pruned ResNet-50 on
+the paper's starred weight-sparse design ``Sparse.B*(4,0,1,on)``, and
+reports speedup, hardware overhead, and effective efficiency against the
+dense baseline.
 
-Run:  python examples/quickstart.py
+Run:  python examples/quickstart.py    (near-instant on a warm cache)
 """
 
-from repro import (
-    ModelCategory,
-    SPARSE_B_STAR,
-    SimulationOptions,
-    benchmark,
-    dense,
-    overhead_of,
-    simulate_network,
-)
+from repro import ModelCategory, Session, SimulationOptions, overhead_of, parse_design
 from repro.core.metrics import effective_tops_per_watt
-from repro.hw.cost import cost_of
 
 
 def main() -> None:
-    net = benchmark("ResNet50").network
     options = SimulationOptions(passes_per_gemm=4, max_t_steps=96)
+    star = parse_design("Sparse.B*")
+    baseline = parse_design("Dense")
 
-    # 1. How fast? Cycle-simulate the pruned model (DNN.B category).
-    result = simulate_network(net, SPARSE_B_STAR, ModelCategory.B, options)
-    print(f"{net.name} on {SPARSE_B_STAR.label}:")
-    print(f"  dense latency : {result.dense_cycles:,} cycles")
-    print(f"  sparse latency: {result.cycles:,.0f} cycles")
-    print(f"  speedup       : {result.speedup:.2f}x")
+    with Session() as session:
+        # 1. How fast? Cycle-simulate the pruned model (DNN.B category).
+        result = session.simulate("ResNet50", star, ModelCategory.B, options)
+        print(f"{result.network} on {star.label}:")
+        print(f"  dense latency : {result.dense_cycles:,} cycles")
+        print(f"  sparse latency: {result.cycles:,.0f} cycles")
+        print(f"  speedup       : {result.speedup:.2f}x")
 
-    # 2. At what hardware cost? (Table II overheads + Table VII-style cost.)
-    ovh = overhead_of(SPARSE_B_STAR)
-    cost = cost_of(SPARSE_B_STAR)
-    base = cost_of(dense())
-    print(f"  ABUF depth {ovh.abuf_depth}, AMUX fan-in {ovh.amux_fanin}, "
-          f"adder trees {ovh.adder_trees}, metadata {ovh.metadata_bits}b")
-    print(f"  power {cost.total_power_mw:.0f} mW (dense {base.total_power_mw:.0f} mW), "
-          f"area {cost.total_area_kum2:.0f} kum2 (dense {base.total_area_kum2:.0f})")
+        # 2. At what hardware cost? (Table II overheads + Table VII-style cost.)
+        config = star.config_for(ModelCategory.B)
+        ovh = overhead_of(config)
+        cost = star.cost()
+        base = baseline.cost()
+        print(f"  ABUF depth {ovh.abuf_depth}, AMUX fan-in {ovh.amux_fanin}, "
+              f"adder trees {ovh.adder_trees}, metadata {ovh.metadata_bits}b")
+        print(f"  power {cost.total_power_mw:.0f} mW (dense {base.total_power_mw:.0f} mW), "
+              f"area {cost.total_area_kum2:.0f} kum2 (dense {base.total_area_kum2:.0f})")
 
-    # 3. Was it worth it? Effective TOPS/W (Definition V.1).
-    eff = effective_tops_per_watt(result.speedup, cost.total_power_mw)
-    eff_base = effective_tops_per_watt(1.0, base.total_power_mw)
-    print(f"  effective {eff:.1f} TOPS/W vs dense {eff_base:.1f} TOPS/W "
-          f"({eff / eff_base:.2f}x)")
+        # 3. Was it worth it? Effective TOPS/W (Definition V.1).
+        eff = effective_tops_per_watt(result.speedup, cost.total_power_mw)
+        eff_base = effective_tops_per_watt(1.0, base.total_power_mw)
+        print(f"  effective {eff:.1f} TOPS/W vs dense {eff_base:.1f} TOPS/W "
+              f"({eff / eff_base:.2f}x)")
+
+        stats = session.stats
+        print(f"  persistent cache: {stats.hits} hits, {stats.misses} misses "
+              f"[{session.cache_dir}]")
 
 
 if __name__ == "__main__":

@@ -6,7 +6,11 @@ hybrid architecture that morphs between dual- and single-sparse modes.  The
 public API exposes the architecture configuration space, the cycle-level
 performance model, the calibrated power/area cost model, the six Table IV
 benchmark workloads, the SOTA baselines, and the design-space explorer that
-regenerates every table and figure of the paper.
+regenerates every table and figure of the paper.  The
+:class:`~repro.api.Session` facade is the unified evaluation entry point:
+configs, Griffin, and baselines all score through one batched,
+cache-backed ``session.evaluate(...)`` call, and declarative
+:class:`~repro.api.ExperimentSpec` JSON files run via ``repro run``.
 """
 
 from repro.config import (
@@ -26,11 +30,28 @@ from repro.config import (
     sparse_ab,
     sparse_b,
 )
+from repro.api import (
+    ExperimentResult,
+    ExperimentSpec,
+    Session,
+    default_session,
+    run_experiment,
+)
 from repro.core.overhead import HardwareOverhead, overhead_of
+from repro.dse.evaluate import (
+    BaselineDesign,
+    ConfigDesign,
+    Design,
+    GriffinDesign,
+    as_design,
+    evaluate_design,
+    parse_design,
+)
 from repro.runtime import CacheStats, PersistentLayerCache, SweepOutcome, SweepRunner
 from repro.sim.engine import (
     NetworkSimResult,
     SimulationOptions,
+    persistent_cache,
     set_persistent_cache,
     simulate_layer,
     simulate_network,
@@ -57,12 +78,25 @@ __all__ = [
     "SPARSE_A_STAR",
     "SPARSE_B_STAR",
     "SPARSE_AB_STAR",
+    "Session",
+    "ExperimentSpec",
+    "ExperimentResult",
+    "default_session",
+    "run_experiment",
+    "Design",
+    "ConfigDesign",
+    "GriffinDesign",
+    "BaselineDesign",
+    "as_design",
+    "parse_design",
+    "evaluate_design",
     "HardwareOverhead",
     "overhead_of",
     "simulate_tile",
     "simulate_layer",
     "simulate_network",
     "simulation_key",
+    "persistent_cache",
     "set_persistent_cache",
     "SimulationOptions",
     "NetworkSimResult",

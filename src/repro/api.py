@@ -1,0 +1,482 @@
+"""Unified session/experiment API: one evaluation path for every design.
+
+:class:`Session` is the facade over the whole toolkit.  It owns the
+persistent layer-result cache and the parallel
+:class:`~repro.runtime.runner.SweepRunner`, replacing ad-hoc use of the
+mutable global ``set_persistent_cache`` with context-managed,
+session-scoped state: the cache is installed only for the duration of a
+session call (or a ``with session:`` block) and the previous state is
+always restored.  Any design -- a borrowing
+:class:`~repro.config.ArchConfig`, the hybrid
+:class:`~repro.config.GriffinArch`, a calibrated
+:class:`~repro.baselines.registry.BaselineArch` row, or a name understood
+by :func:`~repro.dse.evaluate.parse_design` -- evaluates through the same
+batched, cache-backed ``session.evaluate(designs, categories, settings)``
+call, fanning out over worker processes exactly like ``repro sweep``.
+
+:class:`ExperimentSpec` is the declarative counterpart: a dict / JSON
+description of designs + categories + sampling that can express any of the
+paper's Fig. 5-8 / Table VI experiments and runs via
+``repro run experiment.json`` or :meth:`Session.run`::
+
+    {
+      "name": "fig8",
+      "designs": ["Baseline", "Sparse.B*", "Griffin", "SparTen"],
+      "categories": ["DNN.dense", "DNN.B", "DNN.A", "DNN.AB"],
+      "options": {"passes_per_gemm": 3, "max_t_steps": 64}
+    }
+
+The legacy functions (``evaluate_arch``, ``evaluate_griffin``,
+``simulate_network`` used directly) keep working; the first two are
+deprecation shims over :func:`default_session`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator, Mapping, Sequence
+
+from repro.config import ModelCategory
+from repro.dse.evaluate import (
+    Design,
+    DesignEvaluation,
+    DesignLike,
+    EvalSettings,
+    as_design,
+    evaluate_design,
+    parse_design,
+)
+from repro.dse.explorer import design_space, space_categories
+from repro.dse.report import format_table, sweep_rows
+from repro.hw.cost import CostBreakdown
+from repro.runtime.cache import CacheStats, PersistentLayerCache, default_cache_dir
+from repro.runtime.runner import ProgressFn, SweepOutcome, SweepRunner
+from repro.sim import engine
+from repro.sim.engine import NetworkSimResult, SimulationOptions, simulate_network
+from repro.workloads.models import Network
+from repro.workloads.registry import benchmark
+
+#: ``use_cache`` mode for sessions that neither install nor remove the
+#: globally installed cache -- the default session backing the deprecation
+#: shims, which must keep the legacy functions' exact semantics.
+INHERIT = "inherit"
+
+#: Default sampling of declarative experiments (matches EvalSettings).
+_SPEC_DEFAULT_OPTIONS = {"passes_per_gemm": 3, "max_t_steps": 64}
+
+_SPEC_KEYS = {"name", "title", "designs", "space", "categories", "quick",
+              "networks", "options"}
+_OPTION_KEYS = {"passes_per_gemm", "max_t_steps", "seed", "pipeline_drain",
+                "include_stalls", "include_dram"}
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """Declarative description of one experiment (any Fig. 5-8 panel).
+
+    ``designs`` are names resolved by
+    :func:`~repro.dse.evaluate.parse_design`; ``space`` optionally expands
+    a whole Fig. 5-7 sweep space (``"a"`` / ``"b"`` / ``"ab"``) in front of
+    them.  ``categories`` default to the space's (sparse, dense) pair, or
+    to all four Table I categories for a plain design list.  ``quick``
+    picks the three-benchmark suite (the default) versus the full Table IV
+    six; ``networks`` restricts the suite explicitly.
+    """
+
+    name: str = "experiment"
+    title: str = ""
+    designs: tuple[str, ...] = ()
+    space: str | None = None
+    categories: tuple[str, ...] = ()
+    quick: bool = True
+    networks: tuple[str, ...] | None = None
+    options: SimulationOptions = field(
+        default_factory=lambda: SimulationOptions(**_SPEC_DEFAULT_OPTIONS)
+    )
+
+    @staticmethod
+    def from_dict(data: Mapping) -> "ExperimentSpec":
+        """Build and validate a spec from a plain mapping (JSON shape)."""
+        unknown = set(data) - _SPEC_KEYS
+        if unknown:
+            raise ValueError(
+                f"unknown experiment keys {sorted(unknown)}; "
+                f"accepted: {sorted(_SPEC_KEYS)}"
+            )
+        option_data = dict(data.get("options") or {})
+        unknown_options = set(option_data) - _OPTION_KEYS
+        if unknown_options:
+            raise ValueError(
+                f"unknown simulation options {sorted(unknown_options)}; "
+                f"accepted: {sorted(_OPTION_KEYS)}"
+            )
+        networks = data.get("networks")
+        spec = ExperimentSpec(
+            name=str(data.get("name", "experiment")),
+            title=str(data.get("title", "")),
+            designs=tuple(str(d) for d in data.get("designs") or ()),
+            space=str(data["space"]) if data.get("space") else None,
+            categories=tuple(str(c) for c in data.get("categories") or ()),
+            quick=bool(data.get("quick", True)),
+            networks=tuple(str(n) for n in networks) if networks else None,
+            options=SimulationOptions(**{**_SPEC_DEFAULT_OPTIONS, **option_data}),
+        )
+        if not spec.designs and spec.space is None:
+            raise ValueError("experiment spec needs 'designs' and/or 'space'")
+        # Fail fast on bad design/category/space names, before simulating.
+        spec.resolve_designs()
+        spec.resolve_categories()
+        return spec
+
+    @staticmethod
+    def from_json(text: str) -> "ExperimentSpec":
+        return ExperimentSpec.from_dict(json.loads(text))
+
+    @staticmethod
+    def load(path: str | os.PathLike) -> "ExperimentSpec":
+        """Read a spec from a JSON file (the ``repro run`` input)."""
+        return ExperimentSpec.from_json(Path(path).read_text())
+
+    @staticmethod
+    def coerce(
+        spec: "ExperimentSpec | Mapping | str | os.PathLike",
+    ) -> "ExperimentSpec":
+        """Accept a spec object, a dict, or a path to a JSON file."""
+        if isinstance(spec, ExperimentSpec):
+            return spec
+        if isinstance(spec, Mapping):
+            return ExperimentSpec.from_dict(spec)
+        return ExperimentSpec.load(spec)
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form; ``from_dict`` round-trips it."""
+        return {
+            "name": self.name,
+            "title": self.title,
+            "designs": list(self.designs),
+            "space": self.space,
+            "categories": list(self.categories),
+            "quick": self.quick,
+            "networks": list(self.networks) if self.networks else None,
+            "options": {
+                "passes_per_gemm": self.options.passes_per_gemm,
+                "max_t_steps": self.options.max_t_steps,
+                "seed": self.options.seed,
+                "pipeline_drain": self.options.pipeline_drain,
+                "include_stalls": self.options.include_stalls,
+                "include_dram": self.options.include_dram,
+            },
+        }
+
+    def resolve_designs(self) -> list[Design]:
+        """The design list: the expanded space (if any) plus named designs."""
+        designs: list[Design] = []
+        if self.space is not None:
+            designs.extend(as_design(config) for config in design_space(self.space))
+        designs.extend(parse_design(name) for name in self.designs)
+        return designs
+
+    def resolve_categories(self) -> tuple[ModelCategory, ...]:
+        if self.categories:
+            return tuple(ModelCategory.from_text(c) for c in self.categories)
+        if self.space is not None:
+            return space_categories(self.space)
+        return (ModelCategory.DENSE, ModelCategory.B, ModelCategory.A,
+                ModelCategory.AB)
+
+    def eval_settings(self, quick: bool | None = None) -> EvalSettings:
+        """The spec's :class:`EvalSettings`.
+
+        ``quick`` overrides the spec: ``True`` forces smoke sampling (one
+        pass per GEMM, 16 time steps) on top of the quick suite -- what
+        ``repro run --quick`` and the CI examples job use; ``False``
+        forces the full six-network Table IV suite with the spec's
+        sampling options; ``None`` runs the spec as written.
+        """
+        if quick is None:
+            return EvalSettings(
+                quick=self.quick, options=self.options, networks=self.networks
+            )
+        if quick:
+            options = SimulationOptions(
+                passes_per_gemm=1,
+                max_t_steps=16,
+                seed=self.options.seed,
+                pipeline_drain=self.options.pipeline_drain,
+                include_stalls=self.options.include_stalls,
+                include_dram=self.options.include_dram,
+            )
+            return EvalSettings(quick=True, options=options, networks=self.networks)
+        return EvalSettings(quick=False, options=self.options, networks=self.networks)
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """Evaluations and bookkeeping of one :meth:`Session.run`."""
+
+    spec: ExperimentSpec
+    categories: tuple[ModelCategory, ...]
+    outcome: SweepOutcome
+
+    @property
+    def evaluations(self) -> tuple[DesignEvaluation, ...]:
+        return self.outcome.evaluations
+
+    @property
+    def cache_stats(self) -> CacheStats:
+        return self.outcome.cache_stats
+
+    def rows(self) -> list[dict[str, object]]:
+        """Figure-ready rows (one per design, metrics per category)."""
+        return sweep_rows(self.evaluations, self.categories)
+
+    def table(self) -> str:
+        """The experiment as an aligned ASCII table."""
+        return format_table(self.rows(), title=self.spec.title or self.spec.name)
+
+    def to_dict(self) -> dict:
+        """JSON payload for ``repro run --json``."""
+        return {
+            "experiment": self.spec.name,
+            "categories": [c.value for c in self.categories],
+            "workers": self.outcome.workers,
+            "rows": self.rows(),
+            "cache": self.cache_stats.as_dict(),
+        }
+
+
+class Session:
+    """One evaluation path for configs, Griffin, and baselines.
+
+    Args:
+        workers: process count for :meth:`evaluate`; ``0`` or ``1``
+            evaluates serially in-process (still through the cache).
+        cache_dir: root of the persistent layer cache; ``None`` picks
+            ``$REPRO_CACHE_DIR`` or ``~/.cache/repro``.
+        use_cache: ``True`` for a session-owned persistent cache,
+            ``False`` for none, or :data:`INHERIT` to use whatever cache is
+            currently installed (serial only; this is what the deprecation
+            shims run under, so legacy semantics are preserved exactly).
+        settings: default :class:`EvalSettings` for calls that omit them.
+        chunk_size: design points per parallel task (defaults to
+            :func:`repro.runtime.runner.default_chunk_size`).
+        progress: optional ``(done, total)`` callback.
+
+    The session accumulates persistent-cache activity across all of its
+    calls in :attr:`stats`.  Used as a context manager, it installs its
+    cache engine-wide for the duration of the block (so direct
+    ``simulate_network`` calls inside also hit it) and restores the
+    previous state on exit.
+    """
+
+    def __init__(
+        self,
+        workers: int = 0,
+        cache_dir: str | os.PathLike | None = None,
+        use_cache: bool | str = True,
+        settings: EvalSettings | None = None,
+        chunk_size: int | None = None,
+        progress: ProgressFn | None = None,
+    ) -> None:
+        if workers < 0:
+            raise ValueError(f"workers must be >= 0, got {workers}")
+        self.workers = workers
+        self.settings = settings or EvalSettings()
+        self.chunk_size = chunk_size
+        self.progress = progress
+        self.stats = CacheStats()
+        self._inherit = False
+        if use_cache is True:
+            root = Path(cache_dir) if cache_dir is not None else default_cache_dir()
+            self._cache: PersistentLayerCache | None = PersistentLayerCache(root)
+            self.cache_dir: str | None = str(root)
+        elif use_cache is False:
+            self._cache = None
+            self.cache_dir = None
+        elif use_cache == INHERIT:
+            self._cache = None
+            self.cache_dir = None
+            self._inherit = True
+        else:
+            raise ValueError(
+                f"use_cache must be True, False or {INHERIT!r}, got {use_cache!r}"
+            )
+        self._entered: list[object] = []
+
+    @property
+    def cache(self) -> PersistentLayerCache | None:
+        """The session-owned persistent cache (``None`` without one)."""
+        return self._cache
+
+    # ------------------------------------------------------------------
+    # Context management: session-scoped cache installation.
+    # ------------------------------------------------------------------
+
+    def __enter__(self) -> "Session":
+        if not self._inherit:
+            self._entered.append(engine.set_persistent_cache(self._cache))
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        if not self._inherit:
+            engine.set_persistent_cache(self._entered.pop())
+
+    @contextmanager
+    def _scoped(self) -> Iterator[None]:
+        """Install the session cache (or inherit) around one call."""
+        if self._inherit:
+            yield
+            return
+        with engine.persistent_cache(self._cache):
+            yield
+
+    def _snapshot(self) -> CacheStats | None:
+        return self._cache.stats.snapshot() if self._cache is not None else None
+
+    def _absorb(self, before: CacheStats | None) -> CacheStats:
+        """Fold cache activity since ``before`` into the session totals."""
+        if before is None:
+            return CacheStats()
+        delta = self._cache.stats.delta(before)
+        self.stats.merge(delta)
+        return delta
+
+    # ------------------------------------------------------------------
+    # Evaluation.
+    # ------------------------------------------------------------------
+
+    def evaluate(
+        self,
+        designs: Sequence[DesignLike],
+        categories: Sequence[ModelCategory],
+        settings: EvalSettings | None = None,
+    ) -> SweepOutcome:
+        """Evaluate every design on every category, order-preserving.
+
+        With ``workers > 1`` the designs fan out over a process pool
+        through :class:`SweepRunner`; results are bitwise-identical to the
+        serial loop either way, and all paths share the session's
+        persistent cache directory.
+        """
+        resolved = tuple(as_design(design) for design in designs)
+        categories = tuple(categories)
+        settings = settings or self.settings
+        if not resolved:
+            return SweepOutcome((), CacheStats(), self.workers, 0)
+        if self.workers <= 1 or self._inherit:
+            outcome = self._evaluate_serial(resolved, categories, settings)
+        else:
+            runner = SweepRunner(
+                workers=self.workers,
+                cache_dir=self.cache_dir,
+                use_cache=self._cache is not None,
+                chunk_size=self.chunk_size,
+                progress=self.progress,
+            )
+            outcome = runner.run(resolved, categories, settings)
+            self.stats.merge(outcome.cache_stats)
+        return outcome
+
+    def _evaluate_serial(
+        self,
+        designs: tuple[Design, ...],
+        categories: tuple[ModelCategory, ...],
+        settings: EvalSettings,
+    ) -> SweepOutcome:
+        before = self._snapshot()
+        evaluations = []
+        with self._scoped():
+            for done, design in enumerate(designs, start=1):
+                evaluations.append(evaluate_design(design, categories, settings))
+                if self.progress is not None:
+                    self.progress(done, len(designs))
+        return SweepOutcome(
+            tuple(evaluations), self._absorb(before), self.workers, 1
+        )
+
+    def evaluate_one(
+        self,
+        design: DesignLike,
+        categories: Sequence[ModelCategory],
+        settings: EvalSettings | None = None,
+    ) -> DesignEvaluation:
+        """Evaluate a single design (always serial, through the cache)."""
+        return self._evaluate_serial(
+            (as_design(design),), tuple(categories), settings or self.settings
+        ).evaluations[0]
+
+    def simulate(
+        self,
+        network: Network | str,
+        design: DesignLike,
+        category: ModelCategory,
+        options: SimulationOptions | None = None,
+    ) -> NetworkSimResult:
+        """Cycle-simulate one network on one design, through the cache.
+
+        ``network`` may be a benchmark name or a :class:`Network`; the
+        design's category-specific configuration is used (Griffin morphs).
+        """
+        net = benchmark(network).network if isinstance(network, str) else network
+        config = as_design(design).config_for(category)
+        before = self._snapshot()
+        with self._scoped():
+            result = simulate_network(net, config, category, options)
+        self._absorb(before)
+        return result
+
+    def cost(self, design: DesignLike) -> CostBreakdown:
+        """The Table VII-style cost row of any design."""
+        return as_design(design).cost()
+
+    def run(
+        self,
+        spec: "ExperimentSpec | Mapping | str | os.PathLike",
+        quick: bool | None = None,
+    ) -> ExperimentResult:
+        """Run a declarative experiment (spec object, dict, or JSON path).
+
+        ``quick`` overrides the spec's sampling (see
+        :meth:`ExperimentSpec.eval_settings`).
+        """
+        spec = ExperimentSpec.coerce(spec)
+        categories = spec.resolve_categories()
+        return ExperimentResult(
+            spec=spec,
+            categories=categories,
+            outcome=self.evaluate(
+                spec.resolve_designs(),
+                categories,
+                spec.eval_settings(quick=quick),
+            ),
+        )
+
+
+_default_session: Session | None = None
+
+
+def default_session() -> Session:
+    """The process-wide session backing the deprecation shims.
+
+    It *inherits* whatever persistent cache is currently installed instead
+    of owning one, so ``evaluate_arch`` / ``evaluate_griffin`` keep their
+    exact pre-session semantics (including "no cache unless one was
+    installed").
+    """
+    global _default_session
+    if _default_session is None:
+        _default_session = Session(use_cache=INHERIT)
+    return _default_session
+
+
+def run_experiment(
+    spec: "ExperimentSpec | Mapping | str | os.PathLike",
+    session: Session | None = None,
+    quick: bool | None = None,
+) -> ExperimentResult:
+    """Convenience wrapper: run a spec on ``session`` (or a fresh one)."""
+    return (session or Session()).run(spec, quick=quick)

@@ -93,6 +93,11 @@ def all_baselines() -> list[BaselineArch]:
     ]
 
 
+def baseline_names() -> list[str]:
+    """Names of the Table V comparison set, as :func:`baseline` accepts them."""
+    return [arch.name for arch in all_baselines()]
+
+
 def baseline(name: str) -> BaselineArch:
     """Look a baseline up by (case-insensitive) name."""
     for arch in all_baselines():

@@ -1,22 +1,31 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Four subcommands cover the everyday questions:
+Five subcommands cover the everyday questions, all driving the same
+session API (:mod:`repro.api`) so every command shares the parallel
+runner and the persistent layer-result cache:
 
-* ``simulate`` -- run one architecture on one benchmark and category;
+* ``simulate`` -- run one design on one benchmark and category;
 * ``cost``     -- print the Table VII-style breakdown of a design;
 * ``compare``  -- effective-efficiency table of several designs on one
   category (a one-line slice of Fig. 8);
 * ``sweep``    -- evaluate a whole design space (Figs. 5-7) in parallel
-  worker processes, backed by the persistent layer-result cache, and print
-  a figure-ready table plus the starred optimal point.
+  worker processes and print a figure-ready table plus the starred
+  optimal point;
+* ``run``      -- execute a declarative experiment spec (JSON), e.g. the
+  checked-in Fig. 8 overall comparison.
+
+Designs parse uniformly everywhere (:func:`repro.dse.evaluate.parse_design`):
+borrowing notation like ``"B(4,0,1,on)"``, ``Dense``, ``Griffin``, the
+starred Table VI points (``"Sparse.B*"``), and every Table V baseline name
+(``SparTen``, ``TensorDash``, ``BitTactical``, ...), all case-insensitive.
 
 Examples::
 
-    python -m repro simulate --arch "B(4,0,1,on)" --network ResNet50 --category DNN.B
-    python -m repro cost --arch "AB(2,0,0,2,0,1,on)"
+    python -m repro simulate --arch Griffin --network ResNet50 --category DNN.B
+    python -m repro cost --arch SparTen
     python -m repro compare --category DNN.B --arch Dense --arch "B(4,0,1,on)" --arch Griffin
     python -m repro sweep --space b --workers 4
-    python -m repro sweep --space ab --quick --json fig7.json
+    python -m repro run examples/experiments/fig8.json --workers 4
 """
 
 from __future__ import annotations
@@ -26,24 +35,21 @@ import json
 import sys
 from typing import Sequence
 
-from repro.config import GRIFFIN, ArchConfig, ModelCategory, parse_notation
-from repro.core.metrics import effective_tops_per_mm2, effective_tops_per_watt
-from repro.dse.evaluate import EvalSettings, category_speedup
+from repro.api import ExperimentSpec, Session
+from repro.config import ModelCategory
+from repro.dse.evaluate import EvalSettings, parse_design
 from repro.dse.explorer import DESIGN_SPACES, design_space, space_categories, space_label
 from repro.dse.report import format_table, select_optimal, sweep_rows, sweep_table
-from repro.hw.cost import cost_of, gated_power_mw, griffin_category_power_mw, griffin_cost
-from repro.runtime import SweepRunner
-from repro.sim.engine import SimulationOptions, simulate_network
-from repro.workloads.registry import benchmark, benchmark_names
+from repro.runtime.cache import CacheStats
+from repro.sim.engine import SimulationOptions
+from repro.workloads.registry import benchmark_names
 
 
 def _category(text: str) -> ModelCategory:
-    for category in ModelCategory:
-        if category.value.lower() == text.lower() or category.name.lower() == text.lower():
-            return category
-    raise argparse.ArgumentTypeError(
-        f"unknown category {text!r}; choose from {[c.value for c in ModelCategory]}"
-    )
+    try:
+        return ModelCategory.from_text(text)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
 
 
 def _options(args: argparse.Namespace) -> SimulationOptions:
@@ -52,11 +58,39 @@ def _options(args: argparse.Namespace) -> SimulationOptions:
     )
 
 
+def _session(args: argparse.Namespace) -> Session:
+    """A session configured from the shared cache/worker flags."""
+
+    def progress(done: int, total: int) -> None:
+        print(f"  evaluated {done}/{total} design points", file=sys.stderr)
+
+    return Session(
+        workers=getattr(args, "workers", 0),
+        cache_dir=getattr(args, "cache_dir", None),
+        use_cache=not getattr(args, "no_cache", False),
+        progress=progress if getattr(args, "progress", False) else None,
+    )
+
+
+def _cache_line(stats: CacheStats, session: Session) -> str:
+    if session.cache_dir is None:
+        return "persistent cache: disabled"
+    return (
+        f"persistent cache: {stats.hits} hits, {stats.misses} misses, "
+        f"{stats.puts} puts ({100.0 * stats.hit_rate:.1f}% hit rate) "
+        f"[{session.cache_dir}]"
+    )
+
+
 def cmd_simulate(args: argparse.Namespace) -> int:
-    config = parse_notation(args.arch)
-    net = benchmark(args.network).network
-    result = simulate_network(net, config, args.category, _options(args))
-    print(f"{net.name} on {config.label} ({args.category.value}):")
+    session = _session(args)
+    design = parse_design(args.arch)
+    config = design.config_for(args.category)
+    result = session.simulate(args.network, design, args.category, _options(args))
+    shown = design.label if design.label == config.label else (
+        f"{design.label} [{config.label}]"
+    )
+    print(f"{result.network} on {shown} ({args.category.value}):")
     print(f"  dense cycles : {result.dense_cycles:,}")
     print(f"  cycles       : {result.cycles:,.0f}")
     print(f"  speedup      : {result.speedup:.3f}x")
@@ -71,14 +105,13 @@ def cmd_simulate(args: argparse.Namespace) -> int:
             for layer in result.layers
         ]
         print(format_table(rows))
+    if args.cache_stats:
+        print(_cache_line(session.stats, session))
     return 0
 
 
 def cmd_cost(args: argparse.Namespace) -> int:
-    if args.arch.lower() == "griffin":
-        row = griffin_cost(GRIFFIN)
-    else:
-        row = cost_of(parse_notation(args.arch))
+    row = parse_design(args.arch).cost()
     print(f"{row.label}: {row.total_power_mw:.1f} mW, {row.total_area_kum2:.1f} k um^2")
     print(format_table([
         {"Component": k, "Power (mW)": round(p, 2), "Area (k um^2)": round(a, 2)}
@@ -88,30 +121,25 @@ def cmd_cost(args: argparse.Namespace) -> int:
 
 
 def cmd_compare(args: argparse.Namespace) -> int:
+    session = _session(args)
     settings = EvalSettings(quick=not args.full, options=_options(args))
+    designs = [parse_design(name) for name in args.arch]
+    outcome = session.evaluate(designs, (args.category,), settings)
     rows = []
-    for name in args.arch:
-        if name.lower() == "griffin":
-            config: ArchConfig = GRIFFIN.config_for(args.category)
-            cost = griffin_cost(GRIFFIN)
-            power = griffin_category_power_mw(GRIFFIN, cost, args.category)
-            label = "Griffin"
-        else:
-            config = parse_notation(name)
-            cost = cost_of(config)
-            power = gated_power_mw(cost, config, args.category)
-            label = config.label
-        speedup = category_speedup(config, args.category, settings)
+    for evaluation in outcome.evaluations:
+        point = evaluation.point(args.category)
         rows.append(
             {
-                "Architecture": label,
-                "Speedup": speedup,
-                "Power (mW)": round(power, 1),
-                "TOPS/W": effective_tops_per_watt(speedup, power),
-                "TOPS/mm2": effective_tops_per_mm2(speedup, cost.total_area_um2),
+                "Architecture": evaluation.label,
+                "Speedup": point.speedup,
+                "Power (mW)": round(point.power_mw, 1),
+                "TOPS/W": point.tops_per_watt,
+                "TOPS/mm2": point.tops_per_mm2,
             }
         )
     print(format_table(rows, title=f"{args.category.value} comparison"))
+    if args.cache_stats:
+        print(_cache_line(session.stats, session))
     return 0
 
 
@@ -130,16 +158,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         networks = tuple(args.network) if args.network else None
     settings = EvalSettings(quick=not args.full, options=options, networks=networks)
 
-    def progress(done: int, total: int) -> None:
-        print(f"  evaluated {done}/{total} design points", file=sys.stderr)
-
-    runner = SweepRunner(
-        workers=args.workers,
-        cache_dir=args.cache_dir,
-        use_cache=not args.no_cache,
-        progress=progress if args.progress else None,
-    )
-    outcome = runner.run(configs, categories, settings)
+    session = _session(args)
+    outcome = session.evaluate(configs, categories, settings)
 
     title = (
         f"{space_label(args.space)} sweep: {len(outcome)} design points, "
@@ -151,15 +171,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         star = select_optimal(outcome.evaluations, sparse_cat, dense_cat)
         print(f"optimal point ({sparse_cat.value} vs {dense_cat.value}): {star.label}")
 
-    stats = outcome.cache_stats
-    if args.no_cache:
-        print("persistent cache: disabled")
-    else:
-        print(
-            f"persistent cache: {stats.hits} hits, {stats.misses} misses, "
-            f"{stats.puts} puts ({100.0 * stats.hit_rate:.1f}% hit rate) "
-            f"[{runner.cache_dir}]"
-        )
+    print(_cache_line(outcome.cache_stats, session))
 
     if args.json_path:
         payload = {
@@ -167,10 +179,23 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             "categories": [c.value for c in categories],
             "workers": outcome.workers,
             "rows": sweep_rows(outcome.evaluations, categories),
-            "cache": stats.as_dict(),
+            "cache": outcome.cache_stats.as_dict(),
         }
         with open(args.json_path, "w") as handle:
             json.dump(payload, handle, indent=2)
+        print(f"wrote {args.json_path}")
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    spec = ExperimentSpec.load(args.spec)
+    session = _session(args)
+    result = session.run(spec, quick=args.quick or None)
+    print(result.table())
+    print(_cache_line(result.cache_stats, session))
+    if args.json_path:
+        with open(args.json_path, "w") as handle:
+            json.dump(result.to_dict(), handle, indent=2)
         print(f"wrote {args.json_path}")
     return 0
 
@@ -186,22 +211,47 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--max-t", dest="max_t", type=int, default=96)
         p.add_argument("--seed", type=int, default=2022)
 
+    def cache_flags(p: argparse.ArgumentParser, stats_flag: bool = True) -> None:
+        p.add_argument(
+            "--cache-dir", dest="cache_dir", default=None,
+            help="persistent cache root (default: $REPRO_CACHE_DIR or ~/.cache/repro)",
+        )
+        p.add_argument(
+            "--no-cache", action="store_true", help="disable the persistent cache"
+        )
+        if stats_flag:
+            p.add_argument(
+                "--cache-stats", dest="cache_stats", action="store_true",
+                help="print persistent-cache hit/miss statistics",
+            )
+
     sim = sub.add_parser("simulate", help="cycle-simulate one network on one design")
-    sim.add_argument("--arch", required=True, help='e.g. "B(4,0,1,on)" or Dense')
+    sim.add_argument(
+        "--arch", required=True,
+        help='e.g. "B(4,0,1,on)", Dense, Griffin, Sparse.B*, or a baseline name',
+    )
     sim.add_argument("--network", required=True, choices=benchmark_names())
     sim.add_argument("--category", type=_category, default=ModelCategory.B)
     sim.add_argument("--layers", action="store_true", help="print per-layer table")
+    cache_flags(sim)
     common(sim)
     sim.set_defaults(func=cmd_simulate)
 
     cost = sub.add_parser("cost", help="print a design's power/area breakdown")
-    cost.add_argument("--arch", required=True, help='notation or "Griffin"')
+    cost.add_argument(
+        "--arch", required=True, help='notation, "Griffin", or a baseline name'
+    )
     cost.set_defaults(func=cmd_cost)
 
     cmp_ = sub.add_parser("compare", help="efficiency table for several designs")
     cmp_.add_argument("--arch", action="append", required=True)
     cmp_.add_argument("--category", type=_category, default=ModelCategory.B)
     cmp_.add_argument("--full", action="store_true", help="use the full 6-net suite")
+    cmp_.add_argument(
+        "--workers", type=int, default=0,
+        help="worker processes; 0 evaluates serially in-process",
+    )
+    cache_flags(cmp_)
     common(cmp_)
     cmp_.set_defaults(func=cmd_compare)
 
@@ -233,13 +283,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "--limit", type=int, default=0, help="evaluate only the first N design points"
     )
-    sweep.add_argument(
-        "--cache-dir", dest="cache_dir", default=None,
-        help="persistent cache root (default: $REPRO_CACHE_DIR or ~/.cache/repro)",
-    )
-    sweep.add_argument(
-        "--no-cache", action="store_true", help="disable the persistent cache"
-    )
+    cache_flags(sweep, stats_flag=False)
     sweep.add_argument(
         "--json", dest="json_path", default=None,
         help="also write the figure-ready rows to this JSON file",
@@ -249,6 +293,30 @@ def build_parser() -> argparse.ArgumentParser:
     )
     common(sweep)
     sweep.set_defaults(func=cmd_sweep)
+
+    run_ = sub.add_parser(
+        "run", help="run a declarative experiment spec (JSON) through the session"
+    )
+    run_.add_argument(
+        "spec", help="path to an experiment JSON (see examples/experiments/)"
+    )
+    run_.add_argument(
+        "--workers", type=int, default=0,
+        help="worker processes; 0 evaluates serially in-process",
+    )
+    run_.add_argument(
+        "--quick", action="store_true",
+        help="smoke sampling override (1 pass per GEMM, 16 time steps)",
+    )
+    cache_flags(run_, stats_flag=False)
+    run_.add_argument(
+        "--json", dest="json_path", default=None,
+        help="also write the figure-ready rows to this JSON file",
+    )
+    run_.add_argument(
+        "--progress", action="store_true", help="report progress on stderr"
+    )
+    run_.set_defaults(func=cmd_run)
     return parser
 
 
@@ -257,6 +325,9 @@ def main(argv: Sequence[str] | None = None) -> int:
     try:
         return args.func(args)
     except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except OSError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 

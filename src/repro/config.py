@@ -51,6 +51,18 @@ class ModelCategory(Enum):
             return ModelCategory.B
         return ModelCategory.DENSE
 
+    @staticmethod
+    def from_text(text: str) -> "ModelCategory":
+        """Parse a category name (``"DNN.B"``, ``"B"``, ...), case-insensitive."""
+        key = text.strip().lower()
+        for category in ModelCategory:
+            if key in (category.value.lower(), category.name.lower()):
+                return category
+        raise ValueError(
+            f"unknown model category {text!r}; "
+            f"choose from {[c.value for c in ModelCategory]}"
+        )
+
 
 @dataclass(frozen=True)
 class CoreGeometry:

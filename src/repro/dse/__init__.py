@@ -6,11 +6,19 @@ from repro.dse.explorer import (
     sparse_b_space,
 )
 from repro.dse.evaluate import (
+    BaselineDesign,
+    ConfigDesign,
+    Design,
     DesignEvaluation,
+    DesignLike,
     EvalSettings,
+    GriffinDesign,
+    as_design,
     category_speedup,
     evaluate_arch,
+    evaluate_design,
     evaluate_griffin,
+    parse_design,
 )
 from repro.dse.figures import bar_chart, scatter_plot
 from repro.dse.pareto import pareto_front
@@ -21,8 +29,16 @@ __all__ = [
     "sparse_b_space",
     "sparse_ab_space",
     "EvalSettings",
+    "Design",
+    "DesignLike",
+    "ConfigDesign",
+    "GriffinDesign",
+    "BaselineDesign",
     "DesignEvaluation",
+    "as_design",
+    "parse_design",
     "category_speedup",
+    "evaluate_design",
     "evaluate_arch",
     "evaluate_griffin",
     "pareto_front",

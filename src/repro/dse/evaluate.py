@@ -3,16 +3,43 @@
 A design point is scored per model category by the geometric mean of its
 end-to-end speedup over the benchmark suite (Sec. V), turned into effective
 TOPS/W and TOPS/mm^2 with the calibrated cost model (Definition V.1).
+
+Everything the paper compares -- borrowing configurations, the hybrid
+Griffin, and the calibrated SOTA baseline rows -- evaluates through one
+path: the :class:`Design` protocol normalizes "what config runs on this
+category and what does it cost" and :func:`evaluate_design` scores any of
+them.  The batch/cache-backed entry point is
+:meth:`repro.api.Session.evaluate`; the old per-family functions
+``evaluate_arch`` / ``evaluate_griffin`` remain as deprecation shims.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
+from typing import Protocol, Sequence, Union, runtime_checkable
 
-from repro.config import ArchConfig, GriffinArch, ModelCategory
+from repro.baselines.registry import BaselineArch, all_baselines, baseline_names
+from repro.config import (
+    GRIFFIN,
+    SPARSE_A_STAR,
+    SPARSE_AB_STAR,
+    SPARSE_B_STAR,
+    ArchConfig,
+    GriffinArch,
+    ModelCategory,
+    dense,
+    parse_notation,
+)
 from repro.core.metrics import EfficiencyPoint, geometric_mean
 from repro.hw.components import FamilyCalibration
-from repro.hw.cost import cost_of, gated_power_mw, griffin_category_power_mw, griffin_cost
+from repro.hw.cost import (
+    CostBreakdown,
+    cost_of,
+    gated_power_mw,
+    griffin_category_power_mw,
+    griffin_cost,
+)
 from repro.sim.engine import SimulationOptions, simulate_network
 from repro.workloads.registry import BENCHMARKS, BenchmarkInfo
 
@@ -83,6 +110,232 @@ class DesignEvaluation:
         return self.point(category).speedup
 
 
+@runtime_checkable
+class Design(Protocol):
+    """Anything the session API can evaluate.
+
+    A design answers three questions: which borrowing configuration runs a
+    given model category (Griffin morphs, everything else is fixed), what
+    does the hardware cost, and -- given a simulated speedup -- what is the
+    resulting efficiency point (power may be category-dependent through
+    clock gating or calibrated per-category rows).  Implementations must be
+    picklable so :class:`repro.runtime.runner.SweepRunner` can ship them to
+    worker processes.
+    """
+
+    @property
+    def label(self) -> str: ...
+
+    def config_for(self, category: ModelCategory) -> ArchConfig: ...
+
+    def cost(self) -> CostBreakdown: ...
+
+    def efficiency_point(
+        self, category: ModelCategory, speedup: float
+    ) -> EfficiencyPoint: ...
+
+
+@dataclass(frozen=True)
+class ConfigDesign:
+    """A fixed borrowing configuration, optionally with calibrated cost.
+
+    ``calibration`` swaps the family calibration used by the cost model
+    (the transcribed SOTA rows); explicit ``power_mw`` / ``area_um2``
+    override the model entirely.  With no overrides this reproduces the
+    historical ``evaluate_arch`` scoring exactly: calibrated cost, and the
+    sparse machinery clock-gated on categories it cannot exploit.
+    """
+
+    config: ArchConfig
+    calibration: FamilyCalibration | None = None
+    power_mw: float | None = None
+    area_um2: float | None = None
+
+    @property
+    def label(self) -> str:
+        return self.config.label
+
+    def config_for(self, category: ModelCategory) -> ArchConfig:
+        return self.config
+
+    def cost(self) -> CostBreakdown:
+        return cost_of(self.config, calibration=self.calibration)
+
+    def efficiency_point(
+        self, category: ModelCategory, speedup: float
+    ) -> EfficiencyPoint:
+        cost = self.cost()
+        area = self.area_um2 if self.area_um2 is not None else cost.total_area_um2
+        if self.power_mw is not None:
+            power = self.power_mw
+        else:
+            # Table VII power is the sparse operating point; idle sparse
+            # machinery clock-gates on the other categories.
+            power = gated_power_mw(cost, self.config, category)
+        return EfficiencyPoint(
+            label=self.config.label,
+            category=category.value,
+            speedup=speedup,
+            power_mw=power,
+            area_um2=area,
+            geometry=self.config.geometry,
+        )
+
+
+@dataclass(frozen=True)
+class GriffinDesign:
+    """The hybrid: per category it morphs, the cost stays fixed."""
+
+    griffin: GriffinArch = field(default_factory=lambda: GRIFFIN)
+
+    @property
+    def label(self) -> str:
+        return self.griffin.label
+
+    def config_for(self, category: ModelCategory) -> ArchConfig:
+        return self.griffin.config_for(category)
+
+    def cost(self) -> CostBreakdown:
+        return griffin_cost(self.griffin)
+
+    def efficiency_point(
+        self, category: ModelCategory, speedup: float
+    ) -> EfficiencyPoint:
+        cost = self.cost()
+        return EfficiencyPoint(
+            label=self.griffin.label,
+            category=category.value,
+            speedup=speedup,
+            power_mw=griffin_category_power_mw(self.griffin, cost, category),
+            area_um2=cost.total_area_um2,
+            geometry=self.griffin.geometry,
+        )
+
+
+@dataclass(frozen=True)
+class BaselineDesign:
+    """A Table V comparison architecture with its calibrated cost row.
+
+    Power per category comes from the baseline's calibrated per-category
+    row when it has one (SparTen), otherwise from clock-gating the
+    calibrated cost -- the same treatment the Fig. 8 reproduction applies.
+    """
+
+    arch: BaselineArch
+
+    @property
+    def label(self) -> str:
+        return self.arch.name
+
+    def config_for(self, category: ModelCategory) -> ArchConfig:
+        return self.arch.config
+
+    def cost(self) -> CostBreakdown:
+        return self.arch.cost
+
+    def efficiency_point(
+        self, category: ModelCategory, speedup: float
+    ) -> EfficiencyPoint:
+        if self.arch.category_power_mw and category in self.arch.category_power_mw:
+            power = self.arch.category_power_mw[category]
+        else:
+            power = gated_power_mw(self.arch.cost, self.arch.config, category)
+        return EfficiencyPoint(
+            label=self.arch.name,
+            category=category.value,
+            speedup=speedup,
+            power_mw=power,
+            area_um2=self.arch.cost.total_area_um2,
+            geometry=self.arch.config.geometry,
+        )
+
+
+#: What :func:`as_design` accepts: a design, any of the raw architecture
+#: objects, or a name understood by :func:`parse_design`.
+DesignLike = Union["Design", ArchConfig, GriffinArch, BaselineArch, str]
+
+#: Starred Table VI design points by their paper names (lower-cased).
+_STARRED: dict[str, ArchConfig] = {
+    "sparse.a*": SPARSE_A_STAR,
+    "a*": SPARSE_A_STAR,
+    "sparse.b*": SPARSE_B_STAR,
+    "b*": SPARSE_B_STAR,
+    "sparse.ab*": SPARSE_AB_STAR,
+    "ab*": SPARSE_AB_STAR,
+}
+
+
+def parse_design(text: str) -> Design:
+    """Parse any design name into a :class:`Design`, uniformly.
+
+    Accepted, all case-insensitive: ``"Dense"`` / ``"Baseline"``,
+    ``"Griffin"``, the starred Table VI points (``"Sparse.B*"`` or just
+    ``"B*"``), every Table V baseline name (``"SparTen"``,
+    ``"TensorDash"``, ``"BitTactical"``, ``"Cnvlutin"``,
+    ``"Cambricon-X"``), and the paper's borrowing notation
+    (``"B(4,0,1,on)"``, ``"AB(2,0,0,2,0,1,on)"``).
+    """
+    key = text.strip().lower()
+    if key in ("dense", "baseline"):
+        return ConfigDesign(dense())
+    if key == "griffin":
+        return GriffinDesign(GRIFFIN)
+    if key in _STARRED:
+        return ConfigDesign(_STARRED[key])
+    for arch in all_baselines():
+        if arch.name.lower() == key:
+            return BaselineDesign(arch)
+    try:
+        return ConfigDesign(parse_notation(text))
+    except ValueError:
+        names = ["Dense", "Griffin", "Sparse.A*", "Sparse.B*", "Sparse.AB*"]
+        names += baseline_names()
+        raise ValueError(
+            f"unrecognized design {text!r}; expected borrowing notation like "
+            f"'B(4,0,1,on)' or one of {names}"
+        ) from None
+
+
+def as_design(obj: DesignLike) -> Design:
+    """Coerce any design-like object to a :class:`Design`."""
+    if isinstance(obj, ArchConfig):
+        return ConfigDesign(obj)
+    if isinstance(obj, GriffinArch):
+        return GriffinDesign(obj)
+    if isinstance(obj, BaselineArch):
+        return BaselineDesign(obj)
+    if isinstance(obj, str):
+        return parse_design(obj)
+    if isinstance(obj, Design):
+        return obj
+    raise TypeError(
+        f"cannot evaluate {obj!r}: expected an ArchConfig, GriffinArch, "
+        f"BaselineArch, design name, or Design implementation"
+    )
+
+
+def evaluate_design(
+    design: DesignLike,
+    categories: Sequence[ModelCategory],
+    settings: EvalSettings | None = None,
+) -> DesignEvaluation:
+    """Evaluate one design across model categories (the single code path).
+
+    This is the serial unit of work; the batched, parallel, cache-backed
+    entry point is :meth:`repro.api.Session.evaluate`.
+    """
+    design = as_design(design)
+    settings = settings or EvalSettings()
+    points = tuple(
+        design.efficiency_point(
+            category,
+            category_speedup(design.config_for(category), category, settings),
+        )
+        for category in categories
+    )
+    return DesignEvaluation(label=design.label, points=points)
+
+
 def evaluate_arch(
     config: ArchConfig,
     categories: tuple[ModelCategory, ...],
@@ -91,35 +344,23 @@ def evaluate_arch(
     power_mw: float | None = None,
     area_um2: float | None = None,
 ) -> DesignEvaluation:
-    """Evaluate one configuration across model categories.
+    """Deprecated: evaluate one configuration across model categories.
 
-    Cost defaults to the calibrated model; explicit ``power_mw`` /
-    ``area_um2`` override it (used for the transcription-calibrated
-    baseline rows like SparTen).
+    Shim over the session API -- identical results to
+    ``Session.evaluate([ConfigDesign(config, ...)], categories, settings)``.
     """
-    settings = settings or EvalSettings()
-    cost = cost_of(config, calibration=calibration)
-    area = area_um2 if area_um2 is not None else cost.total_area_um2
-    points = []
-    for category in categories:
-        speedup = category_speedup(config, category, settings)
-        if power_mw is not None:
-            power = power_mw
-        else:
-            # Table VII power is the sparse operating point; idle sparse
-            # machinery clock-gates on the other categories.
-            power = gated_power_mw(cost, config, category)
-        points.append(
-            EfficiencyPoint(
-                label=config.label,
-                category=category.value,
-                speedup=speedup,
-                power_mw=power,
-                area_um2=area,
-                geometry=config.geometry,
-            )
-        )
-    return DesignEvaluation(label=config.label, points=tuple(points))
+    warnings.warn(
+        "evaluate_arch() is deprecated; use repro.api.Session.evaluate() "
+        "(or evaluate_design) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.api import default_session
+
+    design = ConfigDesign(
+        config, calibration=calibration, power_mw=power_mw, area_um2=area_um2
+    )
+    return default_session().evaluate_one(design, tuple(categories), settings)
 
 
 def evaluate_griffin(
@@ -127,21 +368,19 @@ def evaluate_griffin(
     categories: tuple[ModelCategory, ...] = tuple(ModelCategory),
     settings: EvalSettings | None = None,
 ) -> DesignEvaluation:
-    """Evaluate the hybrid: per category it morphs, the cost stays fixed."""
-    settings = settings or EvalSettings()
-    cost = griffin_cost(griffin)
-    points = []
-    for category in categories:
-        config = griffin.config_for(category)
-        speedup = category_speedup(config, category, settings)
-        points.append(
-            EfficiencyPoint(
-                label=griffin.label,
-                category=category.value,
-                speedup=speedup,
-                power_mw=griffin_category_power_mw(griffin, cost, category),
-                area_um2=cost.total_area_um2,
-                geometry=griffin.geometry,
-            )
-        )
-    return DesignEvaluation(label=griffin.label, points=tuple(points))
+    """Deprecated: evaluate the hybrid Griffin architecture.
+
+    Shim over the session API -- identical results to
+    ``Session.evaluate([GriffinDesign(griffin)], categories, settings)``.
+    """
+    warnings.warn(
+        "evaluate_griffin() is deprecated; use repro.api.Session.evaluate() "
+        "(or evaluate_design) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.api import default_session
+
+    return default_session().evaluate_one(
+        GriffinDesign(griffin), tuple(categories), settings
+    )

@@ -1,6 +1,8 @@
 """Parallel, cache-backed execution of design-space sweeps.
 
-:class:`SweepRunner` fans the evaluation of a list of design points out
+:class:`SweepRunner` fans the evaluation of a list of design points --
+anything :func:`repro.dse.evaluate.as_design` accepts: borrowing
+configurations, Griffin, calibrated baseline rows, or design names -- out
 over a :class:`concurrent.futures.ProcessPoolExecutor`.  Chunking is
 deterministic in (number of points, chunk size) and results are reassembled
 in input order, so the outcome is identical to the serial loop for any
@@ -21,8 +23,15 @@ from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
-from repro.config import ArchConfig, ModelCategory
-from repro.dse.evaluate import DesignEvaluation, EvalSettings, evaluate_arch
+from repro.config import ModelCategory
+from repro.dse.evaluate import (
+    Design,
+    DesignEvaluation,
+    DesignLike,
+    EvalSettings,
+    as_design,
+    evaluate_design,
+)
 from repro.runtime.cache import CacheStats, PersistentLayerCache, default_cache_dir
 from repro.sim import engine
 
@@ -51,14 +60,14 @@ def _worker_init(cache_dir: str | None) -> None:
 
 
 def _evaluate_chunk(
-    payload: tuple[tuple[int, ...], tuple[ArchConfig, ...],
+    payload: tuple[tuple[int, ...], tuple[Design, ...],
                    tuple[ModelCategory, ...], EvalSettings],
 ) -> tuple[tuple[int, ...], list[DesignEvaluation], dict[str, int]]:
     """Evaluate one chunk of design points (runs inside a worker process)."""
-    indices, configs, categories, settings = payload
+    indices, designs, categories, settings = payload
     cache = engine.get_persistent_cache()
     before = cache.stats.snapshot() if isinstance(cache, PersistentLayerCache) else None
-    evaluations = [evaluate_arch(config, categories, settings) for config in configs]
+    evaluations = [evaluate_design(design, categories, settings) for design in designs]
     if before is not None:
         stats = cache.stats.delta(before)
     else:
@@ -121,49 +130,46 @@ class SweepRunner:
 
     def run(
         self,
-        configs: Sequence[ArchConfig],
+        designs: Sequence[DesignLike],
         categories: Sequence[ModelCategory],
         settings: EvalSettings | None = None,
     ) -> SweepOutcome:
-        """Evaluate every config on every category; order-preserving."""
+        """Evaluate every design on every category; order-preserving."""
         settings = settings or EvalSettings()
-        configs = tuple(configs)
+        resolved = tuple(as_design(design) for design in designs)
         categories = tuple(categories)
-        if not configs:
+        if not resolved:
             return SweepOutcome((), CacheStats(), self.workers, 0)
         if self.workers <= 1:
-            return self._run_serial(configs, categories, settings)
-        return self._run_parallel(configs, categories, settings)
+            return self._run_serial(resolved, categories, settings)
+        return self._run_parallel(resolved, categories, settings)
 
     def _run_serial(
         self,
-        configs: tuple[ArchConfig, ...],
+        designs: tuple[Design, ...],
         categories: tuple[ModelCategory, ...],
         settings: EvalSettings,
     ) -> SweepOutcome:
         cache = PersistentLayerCache(self.cache_dir) if self.cache_dir is not None else None
         # Install the runner's cache -- or explicitly none, so a previously
         # installed global cache cannot leak into a use_cache=False run.
-        previous = engine.set_persistent_cache(cache)
-        try:
+        with engine.persistent_cache(cache):
             evaluations = []
-            for done, config in enumerate(configs, start=1):
-                evaluations.append(evaluate_arch(config, categories, settings))
-                self._report(done, len(configs))
+            for done, design in enumerate(designs, start=1):
+                evaluations.append(evaluate_design(design, categories, settings))
+                self._report(done, len(designs))
             stats = cache.stats.snapshot() if cache is not None else CacheStats()
             return SweepOutcome(tuple(evaluations), stats, self.workers, 1)
-        finally:
-            engine.set_persistent_cache(previous)
 
     def _run_parallel(
         self,
-        configs: tuple[ArchConfig, ...],
+        designs: tuple[Design, ...],
         categories: tuple[ModelCategory, ...],
         settings: EvalSettings,
     ) -> SweepOutcome:
-        size = self.chunk_size or default_chunk_size(len(configs), self.workers)
-        chunks = chunk_indices(len(configs), size)
-        results: list[DesignEvaluation | None] = [None] * len(configs)
+        size = self.chunk_size or default_chunk_size(len(designs), self.workers)
+        chunks = chunk_indices(len(designs), size)
+        results: list[DesignEvaluation | None] = [None] * len(designs)
         stats = CacheStats()
         done_points = 0
         with ProcessPoolExecutor(
@@ -174,7 +180,7 @@ class SweepRunner:
             pending = {
                 pool.submit(
                     _evaluate_chunk,
-                    (chunk, tuple(configs[i] for i in chunk), categories, settings),
+                    (chunk, tuple(designs[i] for i in chunk), categories, settings),
                 )
                 for chunk in chunks
             }
@@ -186,7 +192,7 @@ class SweepRunner:
                         results[index] = evaluation
                     stats.merge(CacheStats.from_dict(chunk_stats))
                     done_points += len(indices)
-                    self._report(done_points, len(configs))
+                    self._report(done_points, len(designs))
         assert all(r is not None for r in results)
         return SweepOutcome(tuple(results), stats, self.workers, len(chunks))
 

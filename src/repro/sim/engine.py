@@ -17,9 +17,10 @@ seed, and layer results are memoized on the full simulation key.
 from __future__ import annotations
 
 import hashlib
+from contextlib import contextmanager
 from dataclasses import dataclass, replace
 from functools import lru_cache
-from typing import Protocol
+from typing import Iterator, Protocol
 
 import numpy as np
 
@@ -400,6 +401,24 @@ def set_persistent_cache(cache: LayerResultCache | None) -> LayerResultCache | N
 
 def get_persistent_cache() -> LayerResultCache | None:
     return _persistent_cache
+
+
+@contextmanager
+def persistent_cache(
+    cache: LayerResultCache | None,
+) -> Iterator[LayerResultCache | None]:
+    """Scoped installation of the persistent layer-result cache.
+
+    Installs ``cache`` (or explicitly none) for the duration of the block
+    and restores the previously installed cache afterwards, even on error.
+    This is how :class:`repro.api.Session` keeps its cache session-scoped
+    instead of mutating global state permanently.
+    """
+    previous = set_persistent_cache(cache)
+    try:
+        yield cache
+    finally:
+        set_persistent_cache(previous)
 
 
 def clear_memo_cache() -> None:

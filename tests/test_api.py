@@ -1,0 +1,352 @@
+"""Tests for the unified session/experiment API (`repro.api`).
+
+The load-bearing guarantees:
+
+* `parse_design` parses configs, Griffin, starred points, and baseline
+  names uniformly (case-insensitive);
+* two sessions with different cache directories are fully isolated (no
+  bleed-through in either direction) and never leave state installed in
+  the engine after a call;
+* `session.evaluate` is bitwise-identical between the serial and the
+  parallel path for a mixed design list (config + Griffin + baseline);
+* the `evaluate_arch` / `evaluate_griffin` deprecation shims return
+  results identical to a direct `Session.evaluate` call.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.api import INHERIT, ExperimentSpec, Session, default_session
+from repro.baselines import baseline
+from repro.baselines.bittactical import TCL_B, TCL_CALIBRATION
+from repro.config import (
+    GRIFFIN,
+    SPARSE_A_STAR,
+    SPARSE_B_STAR,
+    ModelCategory,
+    sparse_b,
+)
+from repro.dse.evaluate import (
+    BaselineDesign,
+    ConfigDesign,
+    Design,
+    EvalSettings,
+    GriffinDesign,
+    as_design,
+    evaluate_arch,
+    evaluate_design,
+    evaluate_griffin,
+    parse_design,
+)
+from repro.runtime.cache import PersistentLayerCache
+from repro.sim import engine
+from repro.sim.engine import SimulationOptions
+
+CHEAP = SimulationOptions(passes_per_gemm=1, max_t_steps=16, seed=7)
+SETTINGS = EvalSettings(quick=True, options=CHEAP, networks=("BERT",))
+CATS = (ModelCategory.B, ModelCategory.DENSE)
+
+
+@pytest.fixture
+def cold_engine():
+    """No inherited memoization or persistent cache; restore afterwards."""
+    previous = engine.set_persistent_cache(None)
+    engine.clear_memo_cache()
+    yield
+    engine.clear_memo_cache()
+    engine.set_persistent_cache(previous)
+
+
+class TestParseDesign:
+    def test_notation(self):
+        design = parse_design("B(4,0,1,on)")
+        assert isinstance(design, ConfigDesign)
+        assert design.label == "B(4,0,1,on)"
+
+    def test_dense_and_baseline_aliases(self):
+        assert parse_design("Dense").label == "Baseline"
+        assert parse_design("baseline").label == "Baseline"
+
+    def test_griffin_any_case(self):
+        for name in ("Griffin", "griffin", "GRIFFIN"):
+            design = parse_design(name)
+            assert isinstance(design, GriffinDesign)
+            assert design.config_for(ModelCategory.B) == GRIFFIN.conf_b
+
+    def test_starred_points(self):
+        assert parse_design("Sparse.B*").config == SPARSE_B_STAR
+        assert parse_design("b*").config == SPARSE_B_STAR
+        assert parse_design("sparse.a*").config == SPARSE_A_STAR
+
+    def test_baseline_names(self):
+        for name in ("SparTen", "tensordash", "BitTactical", "Cnvlutin",
+                     "cambricon-x"):
+            design = parse_design(name)
+            assert isinstance(design, BaselineDesign)
+        assert parse_design("sparten").label == "SparTen"
+
+    def test_unknown_design_lists_choices(self):
+        with pytest.raises(ValueError, match="Griffin"):
+            parse_design("NoSuchDesign")
+
+    def test_all_parsed_designs_satisfy_protocol(self):
+        for name in ("Dense", "Griffin", "Sparse.B*", "SparTen", "B(2,0,0)"):
+            assert isinstance(parse_design(name), Design)
+
+
+class TestAsDesign:
+    def test_coercions(self):
+        config = sparse_b(2, 0, 0)
+        assert as_design(config) == ConfigDesign(config)
+        assert as_design(GRIFFIN) == GriffinDesign(GRIFFIN)
+        assert as_design(baseline("SparTen")) == BaselineDesign(baseline("SparTen"))
+        assert isinstance(as_design("Griffin"), GriffinDesign)
+
+    def test_design_passes_through(self):
+        design = ConfigDesign(sparse_b(2, 0, 0))
+        assert as_design(design) is design
+
+    def test_rejects_garbage(self):
+        with pytest.raises(TypeError):
+            as_design(42)
+
+
+class TestSessionEvaluate:
+    def test_empty(self, cold_engine):
+        outcome = Session(use_cache=False).evaluate([], CATS, SETTINGS)
+        assert outcome.evaluations == ()
+
+    def test_parallel_equals_serial_mixed_designs(self, cold_engine, tmp_path):
+        designs = [sparse_b(2, 0, 0), "Griffin", "SparTen", "Sparse.B*"]
+        serial = Session(workers=0, cache_dir=tmp_path / "s").evaluate(
+            designs, CATS, SETTINGS
+        )
+        engine.clear_memo_cache()
+        parallel = Session(workers=2, cache_dir=tmp_path / "p").evaluate(
+            designs, CATS, SETTINGS
+        )
+        assert parallel.evaluations == serial.evaluations
+        assert [e.label for e in serial.evaluations] == [
+            "B(2,0,0,off)", "Griffin", "SparTen", "Sparse.B*"
+        ]
+
+    def test_cache_isolation_between_sessions(self, cold_engine, tmp_path):
+        config = sparse_b(2, 0, 1)
+        one = Session(cache_dir=tmp_path / "one")
+        two = Session(cache_dir=tmp_path / "two")
+
+        first = one.evaluate([config], (ModelCategory.B,), SETTINGS)
+        assert first.cache_stats.puts > 0
+        assert one.stats.puts == first.cache_stats.puts
+
+        # A different cache dir must not see session one's entries.
+        engine.clear_memo_cache()
+        second = two.evaluate([config], (ModelCategory.B,), SETTINGS)
+        assert second.cache_stats.hits == 0
+        assert second.cache_stats.puts > 0
+        assert second.evaluations == first.evaluations
+
+        # ... and warms up independently.
+        engine.clear_memo_cache()
+        warm = two.evaluate([config], (ModelCategory.B,), SETTINGS)
+        assert warm.cache_stats.hit_rate == 1.0
+        assert two.stats.hits == warm.cache_stats.hits
+
+        # Session calls never leave state installed in the engine.
+        assert engine.get_persistent_cache() is None
+
+    def test_session_stats_accumulate_across_calls(self, cold_engine, tmp_path):
+        session = Session(cache_dir=tmp_path)
+        session.evaluate([sparse_b(2, 0, 0)], (ModelCategory.B,), SETTINGS)
+        engine.clear_memo_cache()
+        session.evaluate([sparse_b(2, 0, 0)], (ModelCategory.B,), SETTINGS)
+        assert session.stats.puts > 0 and session.stats.hits > 0
+
+    def test_simulate_through_cache(self, cold_engine, tmp_path):
+        session = Session(cache_dir=tmp_path)
+        result = session.simulate("BERT", "Griffin", ModelCategory.B, CHEAP)
+        assert result.speedup > 1.0
+        assert session.stats.puts > 0
+        engine.clear_memo_cache()
+        again = session.simulate("BERT", "Griffin", ModelCategory.B, CHEAP)
+        assert again == result
+        assert session.stats.hits > 0
+
+    def test_use_cache_false_touches_nothing(self, cold_engine, tmp_path):
+        installed = PersistentLayerCache(tmp_path)
+        engine.set_persistent_cache(installed)
+        outcome = Session(use_cache=False).evaluate(
+            [sparse_b(2, 0, 0)], (ModelCategory.B,), SETTINGS
+        )
+        assert outcome.cache_stats.lookups == 0
+        assert installed.stats.lookups == 0 and len(installed) == 0
+        assert engine.get_persistent_cache() is installed
+
+    def test_context_manager_installs_and_restores(self, cold_engine, tmp_path):
+        with Session(cache_dir=tmp_path) as session:
+            assert engine.get_persistent_cache() is session.cache
+        assert engine.get_persistent_cache() is None
+
+    def test_rejects_negative_workers_and_bad_mode(self):
+        with pytest.raises(ValueError):
+            Session(workers=-1)
+        with pytest.raises(ValueError):
+            Session(use_cache="sometimes")
+
+
+class TestShims:
+    def test_evaluate_arch_identical_to_session(self, cold_engine):
+        with pytest.deprecated_call():
+            legacy = evaluate_arch(SPARSE_B_STAR, CATS, SETTINGS)
+        direct = Session(use_cache=False).evaluate(
+            [SPARSE_B_STAR], CATS, SETTINGS
+        ).evaluations[0]
+        assert legacy == direct
+
+    def test_evaluate_arch_calibration_and_overrides(self, cold_engine):
+        with pytest.deprecated_call():
+            legacy = evaluate_arch(
+                TCL_B, CATS, SETTINGS, calibration=TCL_CALIBRATION,
+                power_mw=123.0, area_um2=456.0,
+            )
+        design = ConfigDesign(
+            TCL_B, calibration=TCL_CALIBRATION, power_mw=123.0, area_um2=456.0
+        )
+        direct = Session(use_cache=False).evaluate([design], CATS, SETTINGS)
+        assert legacy == direct.evaluations[0]
+        assert legacy.point(ModelCategory.B).power_mw == 123.0
+        assert legacy.point(ModelCategory.B).area_um2 == 456.0
+
+    def test_evaluate_griffin_identical_to_session(self, cold_engine):
+        with pytest.deprecated_call():
+            legacy = evaluate_griffin(GRIFFIN, CATS, SETTINGS)
+        direct = Session(use_cache=False).evaluate(["Griffin"], CATS, SETTINGS)
+        assert legacy == direct.evaluations[0]
+
+    def test_shims_inherit_installed_cache(self, cold_engine, tmp_path):
+        """The default session must use whatever cache is installed --
+        the legacy functions' exact pre-session semantics."""
+        installed = PersistentLayerCache(tmp_path)
+        engine.set_persistent_cache(installed)
+        with pytest.deprecated_call():
+            evaluate_arch(sparse_b(2, 0, 0), (ModelCategory.B,), SETTINGS)
+        assert installed.stats.puts > 0
+        assert engine.get_persistent_cache() is installed
+
+    def test_default_session_is_inherit_mode_singleton(self):
+        session = default_session()
+        assert session is default_session()
+        assert session.cache is None and session._inherit
+        assert Session(use_cache=INHERIT).cache_dir is None
+
+
+class TestExperimentSpec:
+    MINI = {
+        "name": "mini",
+        "designs": ["Dense", "B(2,0,0)"],
+        "categories": ["DNN.B"],
+        "networks": ["BERT"],
+        "options": {"passes_per_gemm": 1, "max_t_steps": 16, "seed": 7},
+    }
+
+    def test_round_trip(self):
+        spec = ExperimentSpec.from_dict(self.MINI)
+        assert ExperimentSpec.from_dict(spec.to_dict()) == spec
+        assert ExperimentSpec.from_json(json.dumps(spec.to_dict())) == spec
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ValueError, match="unknown experiment keys"):
+            ExperimentSpec.from_dict({"designs": ["Dense"], "archs": []})
+        with pytest.raises(ValueError, match="unknown simulation options"):
+            ExperimentSpec.from_dict({"designs": ["Dense"], "options": {"x": 1}})
+
+    def test_needs_designs_or_space(self):
+        with pytest.raises(ValueError, match="designs"):
+            ExperimentSpec.from_dict({"name": "empty"})
+
+    def test_bad_design_name_fails_fast(self):
+        with pytest.raises(ValueError, match="unrecognized design"):
+            ExperimentSpec.from_dict({"designs": ["NoSuchDesign"]})
+
+    def test_space_expansion_and_default_categories(self):
+        spec = ExperimentSpec.from_dict({"name": "fig5", "space": "b"})
+        designs = spec.resolve_designs()
+        assert len(designs) > 10
+        assert spec.resolve_categories() == (ModelCategory.B, ModelCategory.DENSE)
+
+    def test_default_categories_without_space(self):
+        spec = ExperimentSpec.from_dict({"designs": ["Dense"]})
+        assert spec.resolve_categories() == (
+            ModelCategory.DENSE, ModelCategory.B, ModelCategory.A, ModelCategory.AB
+        )
+
+    def test_quick_override_forces_smoke_sampling(self):
+        spec = ExperimentSpec.from_dict(self.MINI)
+        settings = spec.eval_settings(quick=True)
+        assert settings.options.passes_per_gemm == 1
+        assert settings.options.max_t_steps == 16
+        assert settings.options.seed == 7
+
+    def test_quick_false_forces_full_suite(self):
+        spec = ExperimentSpec.from_dict(self.MINI)
+        settings = spec.eval_settings(quick=False)
+        assert settings.quick is False
+        assert settings.options == spec.options
+        assert spec.eval_settings(quick=None).quick is True
+
+    def test_run_through_session(self, cold_engine, tmp_path):
+        spec = ExperimentSpec.from_dict(self.MINI)
+        session = Session(cache_dir=tmp_path)
+        result = session.run(spec)
+        assert [e.label for e in result.evaluations] == ["Baseline", "B(2,0,0,off)"]
+        assert result.cache_stats.puts > 0
+        rows = result.rows()
+        assert rows[0]["Config"] == "Baseline" and "B speedup" in rows[0]
+        assert "mini" in result.table()
+        payload = result.to_dict()
+        assert payload["experiment"] == "mini"
+        assert payload["categories"] == ["DNN.B"]
+
+        # Identical result through the shim path, served from the session's
+        # cache (the shim inherits it inside the ``with session:`` block).
+        hits_before = session.cache.stats.hits
+        with session:
+            engine.clear_memo_cache()
+            with pytest.deprecated_call():
+                legacy = evaluate_arch(
+                    sparse_b(2, 0, 0), (ModelCategory.B,), spec.eval_settings()
+                )
+        assert legacy == result.evaluations[1]
+        assert session.cache.stats.hits > hits_before
+
+    def test_run_accepts_dict_and_path(self, cold_engine, tmp_path):
+        path = tmp_path / "mini.json"
+        path.write_text(json.dumps(self.MINI))
+        session = Session(cache_dir=tmp_path / "cache")
+        by_path = session.run(path)
+        engine.clear_memo_cache()
+        by_dict = session.run(self.MINI)
+        assert by_path.evaluations == by_dict.evaluations
+
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+class TestFig8Spec:
+    def test_checked_in_spec_parses_and_covers_the_comparison(self):
+        spec = ExperimentSpec.load(EXAMPLES / "experiments" / "fig8.json")
+        labels = [design.label for design in spec.resolve_designs()]
+        assert labels == [
+            "Baseline", "Sparse.B*", "Sparse.A*", "Sparse.AB*", "Griffin",
+            "BitTactical", "TensorDash", "SparTen",
+        ]
+        assert spec.resolve_categories() == (
+            ModelCategory.DENSE, ModelCategory.B, ModelCategory.A, ModelCategory.AB
+        )
+
+    def test_checked_in_fig5_spec_expands_the_space(self):
+        spec = ExperimentSpec.load(EXAMPLES / "experiments" / "fig5_sparse_b.json")
+        assert spec.space == "b"
+        assert len(spec.resolve_designs()) == 42

@@ -1,8 +1,18 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
+
+MINI_SPEC = {
+    "name": "mini",
+    "designs": ["Dense", "B(2,0,0)"],
+    "categories": ["DNN.B"],
+    "networks": ["BERT"],
+    "options": {"passes_per_gemm": 1, "max_t_steps": 16, "seed": 7},
+}
 
 
 class TestParser:
@@ -59,6 +69,96 @@ class TestCommands:
         assert code == 0
         out = capsys.readouterr().out
         assert "TOPS/W" in out and "Baseline" in out
+
+
+class TestUnifiedDesignParsing:
+    """Every verb accepts Griffin, starred points, and baseline names."""
+
+    def test_cost_baseline_name(self, capsys):
+        assert main(["cost", "--arch", "sparten"]) == 0
+        assert "SparTen" in capsys.readouterr().out
+
+    def test_cost_starred_point(self, capsys):
+        assert main(["cost", "--arch", "Sparse.B*"]) == 0
+        assert "Sparse.B*" in capsys.readouterr().out
+
+    def test_simulate_griffin_morphs(self, capsys, tmp_path, monkeypatch):
+        from repro.sim import engine
+
+        monkeypatch.setattr(engine, "_persistent_cache", None)
+        engine.clear_memo_cache()
+        argv = [
+            "simulate", "--arch", "griffin", "--network", "BERT",
+            "--category", "DNN.B", "--passes", "1", "--max-t", "16",
+            "--cache-dir", str(tmp_path), "--cache-stats",
+        ]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert "Griffin [B(8,0,1,on)]" in cold
+        assert "persistent cache: 0 hits" in cold
+
+        # The repeated CLI call is served from the persistent cache.
+        engine.clear_memo_cache()
+        assert main(argv) == 0
+        warm = capsys.readouterr().out
+        assert "0 misses" in warm and "100.0% hit rate" in warm
+        assert warm.split("persistent cache")[0] == cold.split("persistent cache")[0]
+
+    def test_compare_accepts_baseline_names(self, capsys, tmp_path, monkeypatch):
+        from repro.sim import engine
+
+        monkeypatch.setattr(engine, "_persistent_cache", None)
+        engine.clear_memo_cache()
+        code = main(
+            ["compare", "--category", "DNN.B", "--arch", "Dense",
+             "--arch", "SparTen", "--arch", "Griffin",
+             "--passes", "1", "--max-t", "16",
+             "--cache-dir", str(tmp_path), "--cache-stats"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "SparTen" in out and "Griffin" in out
+        assert "persistent cache:" in out
+
+    def test_unknown_design_is_an_error(self, capsys):
+        assert main(["cost", "--arch", "NoSuchDesign"]) == 2
+        assert "unrecognized design" in capsys.readouterr().err
+
+
+class TestRunCommand:
+    def test_run_experiment_cold_then_warm(self, capsys, tmp_path, monkeypatch):
+        from repro.sim import engine
+
+        monkeypatch.setattr(engine, "_persistent_cache", None)
+        engine.clear_memo_cache()
+        spec_path = tmp_path / "mini.json"
+        spec_path.write_text(json.dumps(MINI_SPEC))
+        argv = ["run", str(spec_path), "--cache-dir", str(tmp_path / "cache")]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert "mini" in cold and "Baseline" in cold and "B(2,0,0,off)" in cold
+        assert "persistent cache: 0 hits" in cold
+
+        engine.clear_memo_cache()
+        assert main(argv + ["--json", str(tmp_path / "out.json")]) == 0
+        warm = capsys.readouterr().out
+        assert "0 misses" in warm and "100.0% hit rate" in warm
+        assert warm.split("persistent cache")[0] == cold.split("persistent cache")[0]
+
+        payload = json.loads((tmp_path / "out.json").read_text())
+        assert payload["experiment"] == "mini"
+        assert len(payload["rows"]) == 2
+        assert payload["cache"]["hits"] > 0
+
+    def test_run_missing_file(self, capsys):
+        assert main(["run", "/no/such/spec.json"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_run_invalid_spec(self, capsys, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"designs": ["NoSuchDesign"]}))
+        assert main(["run", str(bad)]) == 2
+        assert "unrecognized design" in capsys.readouterr().err
 
 
 class TestSweepCommand:
