@@ -6,12 +6,20 @@ paper-vs-measured comparison (run with ``pytest benchmarks/
 use the quick evaluation settings (three-benchmark suite, light tile
 sampling); set ``REPRO_FULL_EVAL=1`` for the full six-network Table IV
 suite.
+
+All modules evaluate through one shared :class:`repro.api.Session` -- the
+same unified path the CLI drives -- backed by a run-scoped two-tier
+persistent cache, so a layer or network simulated for one figure is read
+from disk by every later figure that needs it.  The cache directory is a
+pytest temp dir: benchmark runs never touch (or depend on) the user's
+``~/.cache/repro``.
 """
 
 import os
 
 import pytest
 
+from repro.api import Session
 from repro.dse.evaluate import EvalSettings
 from repro.sim.engine import SimulationOptions
 
@@ -28,6 +36,12 @@ def settings() -> EvalSettings:
             options=SimulationOptions(passes_per_gemm=6, max_t_steps=128),
         )
     return EvalSettings(quick=True)
+
+
+@pytest.fixture(scope="session")
+def session(tmp_path_factory) -> Session:
+    """One session (and one persistent cache) for the whole benchmark run."""
+    return Session(cache_dir=tmp_path_factory.mktemp("repro-cache"))
 
 
 def show(text: str) -> None:

@@ -7,33 +7,27 @@ to end-to-end latency -- and why the paper can say 50 GB/s of DRAM is
 use (the DRAM-ablation row shows what happens if they don't).
 """
 
-import pytest
-
 from repro.config import ModelCategory, SPARSE_B_STAR
+from repro.sim.engine import SimulationOptions
 from repro.dse.report import format_table
-from repro.sim.engine import SimulationOptions, simulate_network
-from repro.workloads.registry import benchmark as get_benchmark
 from conftest import show
 
 
-@pytest.fixture(scope="module")
-def network():
-    return get_benchmark("AlexNet").network
-
-
-def _speedup(network, **kwargs):
+def _speedup(session, **kwargs):
     options = SimulationOptions(passes_per_gemm=3, max_t_steps=64, **kwargs)
-    return simulate_network(network, SPARSE_B_STAR, ModelCategory.B, options).speedup
+    return session.simulate(
+        "AlexNet", SPARSE_B_STAR, ModelCategory.B, options
+    ).speedup
 
 
-def test_stall_component_ablation(benchmark, network):
+def test_stall_component_ablation(benchmark, session):
     def run():
         return {
-            "no stalls": _speedup(network, include_stalls=False, pipeline_drain=0),
-            "drain only": _speedup(network, include_stalls=False, pipeline_drain=2),
-            "drain + SRAM conflicts (default)": _speedup(network, include_stalls=True),
+            "no stalls": _speedup(session, include_stalls=False, pipeline_drain=0),
+            "drain only": _speedup(session, include_stalls=False, pipeline_drain=2),
+            "drain + SRAM conflicts (default)": _speedup(session, include_stalls=True),
             "+ DRAM check (weights not resident)": _speedup(
-                network, include_stalls=True, include_dram=True
+                session, include_stalls=True, include_dram=True
             ),
         }
 

@@ -16,29 +16,25 @@ from repro.config import (
     dense,
 )
 from repro.dse.report import format_table
-from repro.hw.cost import cost_of, griffin_category_power_mw, griffin_cost
+from repro.hw.cost import griffin_category_power_mw, griffin_cost
 from repro.hw.energy import EnergyReport, inference_energy
-from repro.sim.engine import SimulationOptions, simulate_network
-from repro.workloads.registry import benchmark as get_benchmark
+from repro.sim.engine import SimulationOptions
 from conftest import show
 
 OPTIONS = SimulationOptions(passes_per_gemm=3, max_t_steps=64)
 
 
-def test_energy_per_inference(benchmark):
-    net = get_benchmark("ResNet50").network
-
+def test_energy_per_inference(benchmark, session):
     def run():
         rows = {}
         for config in (dense(), SPARSE_B_STAR, SPARSE_AB_STAR):
-            result = simulate_network(net, config, ModelCategory.AB, OPTIONS)
+            result = session.simulate("ResNet50", config, ModelCategory.AB, OPTIONS)
             rows[config.label] = inference_energy(result, config)
-        morph = GRIFFIN.config_for(ModelCategory.AB)
-        result = simulate_network(net, morph, ModelCategory.AB, OPTIONS)
+        result = session.simulate("ResNet50", GRIFFIN, ModelCategory.AB, OPTIONS)
         g_cost = griffin_cost(GRIFFIN)
         rows["Griffin"] = EnergyReport(
             label="Griffin",
-            network=net.name,
+            network=result.network,
             cycles=result.cycles,
             power_mw=griffin_category_power_mw(GRIFFIN, g_cost, ModelCategory.AB),
         )
@@ -67,13 +63,13 @@ def test_energy_per_inference(benchmark):
     assert reports["Sparse.AB*"].edp < reports["Sparse.B*"].edp
 
 
-def test_dense_model_energy_tax(benchmark):
-    net = get_benchmark("BERT").network
-
+def test_dense_model_energy_tax(benchmark, session):
     def run():
-        base_run = simulate_network(net, dense(), ModelCategory.DENSE, OPTIONS)
+        base_run = session.simulate("BERT", dense(), ModelCategory.DENSE, OPTIONS)
         base = inference_energy(base_run, dense())
-        sparse_run = simulate_network(net, SPARSE_B_STAR, ModelCategory.DENSE, OPTIONS)
+        sparse_run = session.simulate(
+            "BERT", SPARSE_B_STAR, ModelCategory.DENSE, OPTIONS
+        )
         sparse = inference_energy(sparse_run, SPARSE_B_STAR)
         return base, sparse
 

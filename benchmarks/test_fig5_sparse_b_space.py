@@ -2,15 +2,16 @@
 
 Panel (a): normalized speedup bars for the routing configurations; panels
 (b)/(c): effective power/area efficiency on DNN.B vs DNN.dense.  The paper's
-numbered observations are asserted as shape checks.
+numbered observations are asserted as shape checks.  All evaluations run
+through the shared session (one batched ``session.evaluate`` per panel).
 """
 
 import pytest
 
 from repro.baselines import tcl_b_cost
 from repro.baselines.bittactical import TCL_B, TCL_CALIBRATION
-from repro.config import ModelCategory, SPARSE_B_STAR, parse_notation
-from repro.dse.evaluate import category_speedup, evaluate_arch
+from repro.config import ModelCategory, SPARSE_B_STAR
+from repro.dse.evaluate import ConfigDesign
 from repro.dse.report import format_table
 from conftest import show
 
@@ -27,16 +28,19 @@ FIG5_POINTS = [
 
 
 @pytest.fixture(scope="module")
-def speedups(settings):
+def speedups(session, settings):
+    outcome = session.evaluate(FIG5_POINTS, (ModelCategory.B,), settings)
     return {
-        notation: category_speedup(parse_notation(notation), ModelCategory.B, settings)
-        for notation in FIG5_POINTS
+        notation: evaluation.speedup(ModelCategory.B)
+        for notation, evaluation in zip(FIG5_POINTS, outcome.evaluations)
     }
 
 
-def test_fig5a_speedup_bars(benchmark, settings, speedups):
+def test_fig5a_speedup_bars(benchmark, session, settings, speedups):
     benchmark.pedantic(
-        lambda: category_speedup(SPARSE_B_STAR, ModelCategory.B, settings),
+        lambda: session.evaluate_one(
+            SPARSE_B_STAR, (ModelCategory.B,), settings
+        ).speedup(ModelCategory.B),
         rounds=1, iterations=1,
     )
     rows = [{"Config": k, "DNN.B speedup": v} for k, v in speedups.items()]
@@ -59,12 +63,13 @@ def test_fig5a_speedup_bars(benchmark, settings, speedups):
     assert s["B(2,1,1,on)"] >= 0.97 * max(s["B(2,2,0,on)"], s["B(2,0,2,on)"])
 
 
-def test_fig5bc_efficiency_scatter(benchmark, settings):
+def test_fig5bc_efficiency_scatter(benchmark, session, settings):
     cats = (ModelCategory.B, ModelCategory.DENSE)
     points = ["B(4,0,0,on)", "B(4,0,1,on)", "B(4,0,2,on)", "B(2,1,1,on)"]
 
     def run():
-        return {n: evaluate_arch(parse_notation(n), cats, settings) for n in points}
+        outcome = session.evaluate(points, cats, settings)
+        return dict(zip(points, outcome.evaluations))
 
     evals = benchmark.pedantic(run, rounds=1, iterations=1)
     rows = [
@@ -85,16 +90,18 @@ def test_fig5bc_efficiency_scatter(benchmark, settings):
         assert evals[name].point(ModelCategory.B).tops_per_watt > baseline_eff
 
 
-def test_fig5_bstar_beats_tcl(benchmark, settings):
+def test_fig5_bstar_beats_tcl(benchmark, session, settings):
     def run():
-        star = evaluate_arch(SPARSE_B_STAR, (ModelCategory.B,), settings)
-        tcl = evaluate_arch(
-            TCL_B, (ModelCategory.B,), settings,
+        tcl_design = ConfigDesign(
+            TCL_B,
             calibration=TCL_CALIBRATION,
             power_mw=tcl_b_cost().total_power_mw,
             area_um2=tcl_b_cost().total_area_um2,
         )
-        return star, tcl
+        outcome = session.evaluate(
+            [SPARSE_B_STAR, tcl_design], (ModelCategory.B,), settings
+        )
+        return outcome.evaluations
 
     star, tcl = benchmark.pedantic(run, rounds=1, iterations=1)
     ratio = star.point(ModelCategory.B).tops_per_watt / tcl.point(ModelCategory.B).tops_per_watt

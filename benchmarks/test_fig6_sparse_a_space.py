@@ -1,10 +1,13 @@
-"""Figure 6: the activation-only (Sparse.A) design space."""
+"""Figure 6: the activation-only (Sparse.A) design space.
+
+Evaluations run through the shared session (batched ``session.evaluate``).
+"""
 
 import pytest
 
 from repro.baselines.sparten import SPARTEN_A, sparten_cost
-from repro.config import ModelCategory, SPARSE_A_STAR, parse_notation
-from repro.dse.evaluate import category_speedup, evaluate_arch
+from repro.config import ModelCategory, SPARSE_A_STAR
+from repro.dse.evaluate import ConfigDesign
 from repro.dse.report import format_table
 from conftest import show
 
@@ -18,16 +21,19 @@ FIG6_POINTS = [
 
 
 @pytest.fixture(scope="module")
-def speedups(settings):
+def speedups(session, settings):
+    outcome = session.evaluate(FIG6_POINTS, (ModelCategory.A,), settings)
     return {
-        notation: category_speedup(parse_notation(notation), ModelCategory.A, settings)
-        for notation in FIG6_POINTS
+        notation: evaluation.speedup(ModelCategory.A)
+        for notation, evaluation in zip(FIG6_POINTS, outcome.evaluations)
     }
 
 
-def test_fig6a_speedup_bars(benchmark, settings, speedups):
+def test_fig6a_speedup_bars(benchmark, session, settings, speedups):
     benchmark.pedantic(
-        lambda: category_speedup(SPARSE_A_STAR, ModelCategory.A, settings),
+        lambda: session.evaluate_one(
+            SPARSE_A_STAR, (ModelCategory.A,), settings
+        ).speedup(ModelCategory.A),
         rounds=1, iterations=1,
     )
     rows = [{"Config": k, "DNN.A speedup": v} for k, v in speedups.items()]
@@ -46,12 +52,13 @@ def test_fig6a_speedup_bars(benchmark, settings, speedups):
     assert 1.3 < s["A(2,1,0,on)"] < 2.2
 
 
-def test_fig6bc_efficiency_scatter(benchmark, settings):
+def test_fig6bc_efficiency_scatter(benchmark, session, settings):
     cats = (ModelCategory.A, ModelCategory.DENSE)
     points = ["A(2,1,0,on)", "A(2,1,1,on)", "A(2,1,2,on)", "A(4,0,1,on)"]
 
     def run():
-        return {n: evaluate_arch(parse_notation(n), cats, settings) for n in points}
+        outcome = session.evaluate(points, cats, settings)
+        return dict(zip(points, outcome.evaluations))
 
     evals = benchmark.pedantic(run, rounds=1, iterations=1)
     rows = [
@@ -72,15 +79,17 @@ def test_fig6bc_efficiency_scatter(benchmark, settings):
     )
 
 
-def test_fig6_sparten_a_comparison(benchmark, settings):
+def test_fig6_sparten_a_comparison(benchmark, session, settings):
     def run():
-        star = evaluate_arch(SPARSE_A_STAR, (ModelCategory.A,), settings)
-        sparten = evaluate_arch(
-            SPARTEN_A, (ModelCategory.A,), settings,
+        sparten_design = ConfigDesign(
+            SPARTEN_A,
             power_mw=sparten_cost("A").total_power_mw,
             area_um2=sparten_cost("A").total_area_um2,
         )
-        return star, sparten
+        outcome = session.evaluate(
+            [SPARSE_A_STAR, sparten_design], (ModelCategory.A,), settings
+        )
+        return outcome.evaluations
 
     star, sparten = benchmark.pedantic(run, rounds=1, iterations=1)
     show(

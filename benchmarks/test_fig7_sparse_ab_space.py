@@ -1,11 +1,14 @@
-"""Figure 7: the dual-sparse (Sparse.AB) design space."""
+"""Figure 7: the dual-sparse (Sparse.AB) design space.
+
+Evaluations run through the shared session (batched ``session.evaluate``).
+"""
 
 import pytest
 
 from repro.baselines import tdash_ab_cost
 from repro.baselines.tensordash import TDASH_AB, TDASH_CALIBRATION
-from repro.config import ModelCategory, SPARSE_AB_STAR, parse_notation
-from repro.dse.evaluate import category_speedup, evaluate_arch
+from repro.config import ModelCategory, SPARSE_AB_STAR
+from repro.dse.evaluate import ConfigDesign
 from repro.dse.report import format_table
 from conftest import show
 
@@ -19,16 +22,19 @@ FIG7_POINTS = [
 
 
 @pytest.fixture(scope="module")
-def speedups(settings):
+def speedups(session, settings):
+    outcome = session.evaluate(FIG7_POINTS, (ModelCategory.AB,), settings)
     return {
-        notation: category_speedup(parse_notation(notation), ModelCategory.AB, settings)
-        for notation in FIG7_POINTS
+        notation: evaluation.speedup(ModelCategory.AB)
+        for notation, evaluation in zip(FIG7_POINTS, outcome.evaluations)
     }
 
 
-def test_fig7a_speedup_bars(benchmark, settings, speedups):
+def test_fig7a_speedup_bars(benchmark, session, settings, speedups):
     benchmark.pedantic(
-        lambda: category_speedup(SPARSE_AB_STAR, ModelCategory.AB, settings),
+        lambda: session.evaluate_one(
+            SPARSE_AB_STAR, (ModelCategory.AB,), settings
+        ).speedup(ModelCategory.AB),
         rounds=1, iterations=1,
     )
     rows = [{"Config": k, "DNN.AB speedup": v} for k, v in speedups.items()]
@@ -47,12 +53,13 @@ def test_fig7a_speedup_bars(benchmark, settings, speedups):
     assert 2.2 < s["AB(2,0,0,2,0,1,on)"] < 5.0
 
 
-def test_fig7bc_efficiency_scatter(benchmark, settings):
+def test_fig7bc_efficiency_scatter(benchmark, session, settings):
     cats = (ModelCategory.AB, ModelCategory.A)
     points = ["AB(2,0,0,2,0,1,on)", "AB(2,0,0,4,0,1,on)", "AB(2,0,0,4,0,2,on)"]
 
     def run():
-        return {n: evaluate_arch(parse_notation(n), cats, settings) for n in points}
+        outcome = session.evaluate(points, cats, settings)
+        return dict(zip(points, outcome.evaluations))
 
     evals = benchmark.pedantic(run, rounds=1, iterations=1)
     rows = [
@@ -70,16 +77,18 @@ def test_fig7bc_efficiency_scatter(benchmark, settings):
     assert evals["AB(2,0,0,2,0,1,on)"].point(ModelCategory.AB).tops_per_watt > 10.85
 
 
-def test_fig7_star_beats_tensordash(benchmark, settings):
+def test_fig7_star_beats_tensordash(benchmark, session, settings):
     def run():
-        star = evaluate_arch(SPARSE_AB_STAR, (ModelCategory.AB,), settings)
-        tdash = evaluate_arch(
-            TDASH_AB, (ModelCategory.AB,), settings,
+        tdash_design = ConfigDesign(
+            TDASH_AB,
             calibration=TDASH_CALIBRATION,
             power_mw=tdash_ab_cost().total_power_mw,
             area_um2=tdash_ab_cost().total_area_um2,
         )
-        return star, tdash
+        outcome = session.evaluate(
+            [SPARSE_AB_STAR, tdash_design], (ModelCategory.AB,), settings
+        )
+        return outcome.evaluations
 
     star, tdash = benchmark.pedantic(run, rounds=1, iterations=1)
     ratio = (

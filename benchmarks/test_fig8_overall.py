@@ -5,13 +5,17 @@ Griffin, and the SOTA comparators on DNN.dense / DNN.B / DNN.A / DNN.AB, and
 checks the paper's headline claims: Griffin is the only top performer in
 every category, and it beats SparTen by large factors on single-sparse
 models.
+
+The whole comparison is one batched ``session.evaluate`` call -- the same
+path ``repro run examples/experiments/fig8.json`` drives -- so every
+design (including SparTen's calibrated per-category power rows, handled
+by :class:`~repro.dse.evaluate.BaselineDesign`) scores identically to the
+CLI reproduction and a warm re-run answers from the network cache tier.
 """
 
 import pytest
 
-from repro.baselines import baseline, sparten_cost
 from repro.baselines.bittactical import TCL_B, TCL_CALIBRATION
-from repro.baselines.sparten import SPARTEN_AB
 from repro.baselines.tensordash import TDASH_AB, TDASH_CALIBRATION
 from repro.config import (
     GRIFFIN,
@@ -19,10 +23,8 @@ from repro.config import (
     SPARSE_A_STAR,
     SPARSE_AB_STAR,
     SPARSE_B_STAR,
-    dense,
 )
-from repro.core.metrics import EfficiencyPoint
-from repro.dse.evaluate import category_speedup, evaluate_arch, evaluate_griffin
+from repro.dse.evaluate import ConfigDesign
 from repro.dse.report import format_table
 from conftest import show
 
@@ -35,36 +37,21 @@ CATEGORIES = (
 
 
 @pytest.fixture(scope="module")
-def evaluations(settings):
-    evals = {
-        "Baseline": evaluate_arch(dense(), CATEGORIES, settings),
-        "Sparse.B*": evaluate_arch(SPARSE_B_STAR, CATEGORIES, settings),
-        "Sparse.A*": evaluate_arch(SPARSE_A_STAR, CATEGORIES, settings),
-        "Sparse.AB*": evaluate_arch(SPARSE_AB_STAR, CATEGORIES, settings),
-        "Griffin": evaluate_griffin(GRIFFIN, CATEGORIES, settings),
-        "TCL.B": evaluate_arch(TCL_B, CATEGORIES, settings, calibration=TCL_CALIBRATION),
-        "TDash.AB": evaluate_arch(
-            TDASH_AB, CATEGORIES, settings, calibration=TDASH_CALIBRATION
-        ),
+def evaluations(session, settings):
+    designs = {
+        "Baseline": "Dense",
+        "Sparse.B*": SPARSE_B_STAR,
+        "Sparse.A*": SPARSE_A_STAR,
+        "Sparse.AB*": SPARSE_AB_STAR,
+        "Griffin": GRIFFIN,
+        "TCL.B": ConfigDesign(TCL_B, calibration=TCL_CALIBRATION),
+        "TDash.AB": ConfigDesign(TDASH_AB, calibration=TDASH_CALIBRATION),
+        # SparTen resolves to its BaselineDesign row: calibrated cost and
+        # per-category power (its machinery idles on dense streams).
+        "SparTen.AB": "SparTen",
     }
-    # SparTen: per-category power (its machinery idles on dense streams).
-    sparten_arch = baseline("SparTen")
-    sparten_points = []
-    for category in CATEGORIES:
-        speedup = category_speedup(SPARTEN_AB, category, settings)
-        sparten_points.append(
-            EfficiencyPoint(
-                label="SparTen.AB",
-                category=category.value,
-                speedup=speedup,
-                power_mw=sparten_arch.power_mw(category),
-                area_um2=sparten_cost("AB").total_area_um2,
-            )
-        )
-    from repro.dse.evaluate import DesignEvaluation
-
-    evals["SparTen.AB"] = DesignEvaluation("SparTen.AB", tuple(sparten_points))
-    return evals
+    outcome = session.evaluate(list(designs.values()), CATEGORIES, settings)
+    return dict(zip(designs, outcome.evaluations))
 
 
 def test_fig8_efficiency_table(benchmark, evaluations):

@@ -11,7 +11,7 @@ import pytest
 
 from repro.config import GRIFFIN, ModelCategory, SPARSE_AB_STAR, SPARSE_B_STAR
 from repro.dse.report import format_table
-from repro.sim.engine import SimulationOptions, simulate_network
+from repro.sim.engine import SimulationOptions
 from repro.workloads.registry import BENCHMARKS
 from conftest import full_eval_requested, show
 
@@ -19,19 +19,19 @@ OPTIONS = SimulationOptions(passes_per_gemm=3, max_t_steps=64)
 
 
 @pytest.fixture(scope="module")
-def per_network():
+def per_network(session):
     rows = []
     for info in BENCHMARKS:
         net = info.network
         row = {"Network": info.name}
-        row["B* (DNN.B)"] = simulate_network(
+        row["B* (DNN.B)"] = session.simulate(
             net, SPARSE_B_STAR, ModelCategory.B, OPTIONS
         ).speedup
-        row["conf.B (DNN.B)"] = simulate_network(
+        row["conf.B (DNN.B)"] = session.simulate(
             net, GRIFFIN.conf_b, ModelCategory.B, OPTIONS
         ).speedup
         if info.act_sparsity > 0:
-            row["AB* (DNN.AB)"] = simulate_network(
+            row["AB* (DNN.AB)"] = session.simulate(
                 net, SPARSE_AB_STAR, ModelCategory.AB, OPTIONS
             ).speedup
         else:

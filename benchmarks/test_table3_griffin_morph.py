@@ -2,7 +2,6 @@
 
 from repro.config import GRIFFIN, ModelCategory
 from repro.core.griffin import compare_morph_vs_downgrade
-from repro.dse.evaluate import category_speedup
 from repro.dse.report import format_table
 from conftest import show
 
@@ -30,15 +29,15 @@ def test_table3_morph_structure(benchmark):
     show(format_table(rows, title="Table III -- Griffin morph vs dual-sparse downgrade"))
 
 
-def test_table3_morph_outperforms_downgrade(benchmark, settings):
+def test_table3_morph_outperforms_downgrade(benchmark, session, settings):
     def run():
         out = {}
         for category in (ModelCategory.A, ModelCategory.B):
             cmp = compare_morph_vs_downgrade(GRIFFIN, category)
-            out[category] = (
-                category_speedup(cmp.downgrade, category, settings),
-                category_speedup(cmp.morph, category, settings),
-            )
+            down, morph = session.evaluate(
+                [cmp.downgrade, cmp.morph], (category,), settings
+            ).evaluations
+            out[category] = (down.speedup(category), morph.speedup(category))
         return out
 
     result = benchmark.pedantic(run, rounds=1, iterations=1)

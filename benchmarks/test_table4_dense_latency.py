@@ -2,19 +2,19 @@
 
 from repro.config import ModelCategory, dense
 from repro.dse.report import format_table
-from repro.sim.engine import SimulationOptions, simulate_network
+from repro.sim.engine import SimulationOptions
 from repro.workloads.registry import BENCHMARKS
 from conftest import show
 
 
-def test_table4_benchmarks(benchmark):
+def test_table4_benchmarks(benchmark, session):
     options = SimulationOptions(passes_per_gemm=2, max_t_steps=64)
 
     def build():
         rows = []
         for info in BENCHMARKS:
             net = info.network
-            res = simulate_network(net, dense(), ModelCategory.DENSE, options)
+            res = session.simulate(net, dense(), ModelCategory.DENSE, options)
             rows.append(
                 {
                     "Network": info.name,

@@ -8,7 +8,6 @@ from the selected point (within 5% on the selection score).
 """
 
 from repro.config import GRIFFIN, ModelCategory, SPARSE_A_STAR, SPARSE_B_STAR
-from repro.dse.evaluate import evaluate_arch
 from repro.dse.explorer import sparse_a_space, sparse_b_space
 from repro.dse.report import format_table, select_optimal
 from conftest import show
@@ -21,16 +20,16 @@ def _score(evaluation, sparse_category):
     )
 
 
-def test_table6_sparse_b_star(benchmark, settings):
+def test_table6_sparse_b_star(benchmark, session, settings):
     space = sparse_b_space(db1_values=(2, 4, 6), max_db2=1, max_db3=2)
     cats = (ModelCategory.B, ModelCategory.DENSE)
 
     def run():
-        evals = [evaluate_arch(cfg, cats, settings) for cfg in space]
+        evals = list(session.evaluate(space, cats, settings).evaluations)
         return evals, select_optimal(evals, ModelCategory.B)
 
     evals, best = benchmark.pedantic(run, rounds=1, iterations=1)
-    published = evaluate_arch(SPARSE_B_STAR, cats, settings)
+    published = session.evaluate_one(SPARSE_B_STAR, cats, settings)
     rows = [
         {
             "Design": e.label,
@@ -54,16 +53,16 @@ def test_table6_sparse_b_star(benchmark, settings):
     assert any(",1,on)" in e.label or ",2,on)" in e.label for e in top4)
 
 
-def test_table6_sparse_a_star(benchmark, settings):
+def test_table6_sparse_a_star(benchmark, session, settings):
     space = sparse_a_space(da1_values=(1, 2, 3), max_da2=1, max_da3=1)
     cats = (ModelCategory.A, ModelCategory.DENSE)
 
     def run():
-        evals = [evaluate_arch(cfg, cats, settings) for cfg in space]
+        evals = list(session.evaluate(space, cats, settings).evaluations)
         return evals, select_optimal(evals, ModelCategory.A)
 
     evals, best = benchmark.pedantic(run, rounds=1, iterations=1)
-    published = evaluate_arch(SPARSE_A_STAR, cats, settings)
+    published = session.evaluate_one(SPARSE_A_STAR, cats, settings)
     show(
         format_table(
             [

@@ -49,8 +49,11 @@ from repro.dse.evaluate import (
 )
 from repro.runtime import CacheStats, PersistentLayerCache, SweepOutcome, SweepRunner
 from repro.sim.engine import (
+    NETWORK_KEY_VERSION,
+    SIMULATION_KEY_VERSION,
     NetworkSimResult,
     SimulationOptions,
+    network_key,
     persistent_cache,
     set_persistent_cache,
     simulate_layer,
@@ -96,6 +99,9 @@ __all__ = [
     "simulate_layer",
     "simulate_network",
     "simulation_key",
+    "network_key",
+    "SIMULATION_KEY_VERSION",
+    "NETWORK_KEY_VERSION",
     "persistent_cache",
     "set_persistent_cache",
     "SimulationOptions",

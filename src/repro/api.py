@@ -1,7 +1,8 @@
 """Unified session/experiment API: one evaluation path for every design.
 
 :class:`Session` is the facade over the whole toolkit.  It owns the
-persistent layer-result cache and the parallel
+two-tier persistent result cache (whole networks, then layers -- see
+``docs/caching.md``) and the parallel
 :class:`~repro.runtime.runner.SweepRunner`, replacing ad-hoc use of the
 mutable global ``set_persistent_cache`` with context-managed,
 session-scoped state: the cache is installed only for the duration of a
@@ -12,7 +13,21 @@ always restored.  Any design -- a borrowing
 :class:`~repro.baselines.registry.BaselineArch` row, or a name understood
 by :func:`~repro.dse.evaluate.parse_design` -- evaluates through the same
 batched, cache-backed ``session.evaluate(designs, categories, settings)``
-call, fanning out over worker processes exactly like ``repro sweep``.
+call, fanning out over worker processes exactly like ``repro sweep``::
+
+    from repro.api import Session
+    from repro.config import ModelCategory
+
+    session = Session(workers=4)
+    outcome = session.evaluate(
+        ["Dense", "Sparse.B*", "Griffin", "SparTen"],
+        (ModelCategory.B, ModelCategory.DENSE),
+    )
+    for ev in outcome.evaluations:
+        print(ev.label, ev.point(ModelCategory.B).tops_per_watt)
+    # A repeated run answers from the network tier: one read per network,
+    # zero layer simulations.
+    print(outcome.cache_stats.network_hits, outcome.cache_stats.layer_lookups)
 
 :class:`ExperimentSpec` is the declarative counterpart: a dict / JSON
 description of designs + categories + sampling that can express any of the
@@ -28,7 +43,8 @@ paper's Fig. 5-8 / Table VI experiments and runs via
 
 The legacy functions (``evaluate_arch``, ``evaluate_griffin``,
 ``simulate_network`` used directly) keep working; the first two are
-deprecation shims over :func:`default_session`.
+deprecation shims over :func:`default_session`, slated for removal in
+v2.0 -- see the migration table in ``docs/architecture.md``.
 """
 
 from __future__ import annotations
@@ -255,7 +271,7 @@ class Session:
     Args:
         workers: process count for :meth:`evaluate`; ``0`` or ``1``
             evaluates serially in-process (still through the cache).
-        cache_dir: root of the persistent layer cache; ``None`` picks
+        cache_dir: root of the two-tier persistent cache; ``None`` picks
             ``$REPRO_CACHE_DIR`` or ``~/.cache/repro``.
         use_cache: ``True`` for a session-owned persistent cache,
             ``False`` for none, or :data:`INHERIT` to use whatever cache is
@@ -267,8 +283,10 @@ class Session:
         progress: optional ``(done, total)`` callback.
 
     The session accumulates persistent-cache activity across all of its
-    calls in :attr:`stats`.  Used as a context manager, it installs its
-    cache engine-wide for the duration of the block (so direct
+    calls in :attr:`stats` (unified across the network and layer tiers;
+    per-tier shares in ``stats.network_hits`` / ``stats.layer_hits`` and
+    friends).  Used as a context manager, it installs its cache
+    engine-wide for the duration of the block (so direct
     ``simulate_network`` calls inside also hit it) and restores the
     previous state on exit.
     """

@@ -2,7 +2,8 @@
 
 Five subcommands cover the everyday questions, all driving the same
 session API (:mod:`repro.api`) so every command shares the parallel
-runner and the persistent layer-result cache:
+runner and the two-tier persistent result cache (whole networks, then
+layers -- see ``docs/caching.md``):
 
 * ``simulate`` -- run one design on one benchmark and category;
 * ``cost``     -- print the Table VII-style breakdown of a design;
@@ -73,11 +74,20 @@ def _session(args: argparse.Namespace) -> Session:
 
 
 def _cache_line(stats: CacheStats, session: Session) -> str:
+    """One unified line covering both cache tiers.
+
+    The leading totals aggregate the network and layer tiers; the bracketed
+    breakdown shows each tier's hits/misses (a warm run reads ``network
+    Nh/0m, layer 0h/0m``: whole networks served in one read each, zero
+    layer lookups).  CI greps this format -- keep the prefix stable.
+    """
     if session.cache_dir is None:
         return "persistent cache: disabled"
     return (
         f"persistent cache: {stats.hits} hits, {stats.misses} misses, "
         f"{stats.puts} puts ({100.0 * stats.hit_rate:.1f}% hit rate) "
+        f"[network {stats.network_hits}h/{stats.network_misses}m, "
+        f"layer {stats.layer_hits}h/{stats.layer_misses}m] "
         f"[{session.cache_dir}]"
     )
 

@@ -8,9 +8,19 @@ Everything the paper compares -- borrowing configurations, the hybrid
 Griffin, and the calibrated SOTA baseline rows -- evaluates through one
 path: the :class:`Design` protocol normalizes "what config runs on this
 category and what does it cost" and :func:`evaluate_design` scores any of
-them.  The batch/cache-backed entry point is
+them::
+
+    from repro.config import ModelCategory
+    from repro.dse.evaluate import EvalSettings, evaluate_design
+
+    ev = evaluate_design("Sparse.B*", (ModelCategory.B,), EvalSettings())
+    print(ev.label, ev.speedup(ModelCategory.B))
+
+The batch/parallel entry point -- backed by the two-tier persistent cache,
+so repeated figure runs answer from disk -- is
 :meth:`repro.api.Session.evaluate`; the old per-family functions
-``evaluate_arch`` / ``evaluate_griffin`` remain as deprecation shims.
+``evaluate_arch`` / ``evaluate_griffin`` remain as deprecation shims
+until v2.0.
 """
 
 from __future__ import annotations
@@ -274,6 +284,10 @@ def parse_design(text: str) -> Design:
     ``"TensorDash"``, ``"BitTactical"``, ``"Cnvlutin"``,
     ``"Cambricon-X"``), and the paper's borrowing notation
     (``"B(4,0,1,on)"``, ``"AB(2,0,0,2,0,1,on)"``).
+
+    Errors name the offending token and list every accepted form; a token
+    that *looks* like borrowing notation (``"B(4,0)"``) surfaces the
+    notation parser's specific complaint instead of the generic list.
     """
     key = text.strip().lower()
     if key in ("dense", "baseline"):
@@ -287,13 +301,28 @@ def parse_design(text: str) -> Design:
             return BaselineDesign(arch)
     try:
         return ConfigDesign(parse_notation(text))
-    except ValueError:
-        names = ["Dense", "Griffin", "Sparse.A*", "Sparse.B*", "Sparse.AB*"]
-        names += baseline_names()
-        raise ValueError(
-            f"unrecognized design {text!r}; expected borrowing notation like "
-            f"'B(4,0,1,on)' or one of {names}"
-        ) from None
+    except ValueError as exc:
+        if "(" in key:
+            # The token attempted notation: the specific parse error
+            # ("B(...) takes 3 distances, got 2") beats the generic list.
+            raise ValueError(f"unrecognized design {text!r}: {exc}") from None
+        raise ValueError(_parse_design_error(text)) from None
+
+
+def _parse_design_error(text: str) -> str:
+    """The full 'what would have been accepted' message for a bad token."""
+    starred = sorted({name for name in _STARRED if name.startswith("sparse")})
+    return (
+        f"unrecognized design {text!r}; accepted forms (case-insensitive):\n"
+        f"  - named designs: Dense (alias Baseline), Griffin\n"
+        f"  - starred Table VI points: "
+        + ", ".join(_STARRED[name].label for name in starred)
+        + f" (short forms {', '.join(name.upper() for name in ('a*', 'b*', 'ab*'))})\n"
+        f"  - Table V baselines: {', '.join(baseline_names())}\n"
+        f"  - borrowing notation: 'A(da1,da2,da3[,on|off])', "
+        f"'B(db1,db2,db3[,on|off])', 'AB(da1,da2,da3,db1,db2,db3[,on|off])', "
+        f"e.g. 'B(4,0,1,on)'"
+    )
 
 
 def as_design(obj: DesignLike) -> Design:
@@ -348,10 +377,16 @@ def evaluate_arch(
 
     Shim over the session API -- identical results to
     ``Session.evaluate([ConfigDesign(config, ...)], categories, settings)``.
+
+    .. deprecated:: 1.0
+        Scheduled for **removal in v2.0**.  Migrate to
+        :meth:`repro.api.Session.evaluate` (see the table in
+        ``docs/architecture.md``); no caller remains in this repository.
     """
     warnings.warn(
-        "evaluate_arch() is deprecated; use repro.api.Session.evaluate() "
-        "(or evaluate_design) instead",
+        "evaluate_arch() is deprecated and will be REMOVED in v2.0; use "
+        "repro.api.Session.evaluate() (or evaluate_design) instead -- "
+        "migration table in docs/architecture.md",
         DeprecationWarning,
         stacklevel=2,
     )
@@ -372,10 +407,16 @@ def evaluate_griffin(
 
     Shim over the session API -- identical results to
     ``Session.evaluate([GriffinDesign(griffin)], categories, settings)``.
+
+    .. deprecated:: 1.0
+        Scheduled for **removal in v2.0**.  Migrate to
+        :meth:`repro.api.Session.evaluate` (see the table in
+        ``docs/architecture.md``); no caller remains in this repository.
     """
     warnings.warn(
-        "evaluate_griffin() is deprecated; use repro.api.Session.evaluate() "
-        "(or evaluate_design) instead",
+        "evaluate_griffin() is deprecated and will be REMOVED in v2.0; use "
+        "repro.api.Session.evaluate() (or evaluate_design) instead -- "
+        "migration table in docs/architecture.md",
         DeprecationWarning,
         stacklevel=2,
     )

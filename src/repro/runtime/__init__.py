@@ -4,10 +4,26 @@ The runtime package turns the serial, process-lifetime-memoized evaluation
 loop into an incremental, parallel one:
 
 * :class:`~repro.runtime.cache.PersistentLayerCache` stores every simulated
-  layer on disk, content-addressed by the engine's simulation key;
+  result on disk in two content-addressed tiers -- whole networks keyed by
+  :func:`repro.sim.engine.network_key` (a warm run resolves each network in
+  one read) and individual layers keyed by
+  :func:`repro.sim.engine.simulation_key` (the fallback that makes partial
+  reuse work across configs and categories);
 * :class:`~repro.runtime.runner.SweepRunner` fans design-point evaluations
   out over worker processes with deterministic chunking, so any worker
   count reproduces the serial results bit for bit.
+
+Example -- a warm sweep served from the network tier::
+
+    from repro.runtime import SweepRunner
+    from repro.config import ModelCategory
+    from repro.dse.explorer import design_space
+
+    runner = SweepRunner(workers=4, cache_dir="/tmp/repro-cache")
+    outcome = runner.run(design_space("b"), (ModelCategory.B,))
+    print(outcome.cache_stats.network_hits, outcome.cache_stats.layer_lookups)
+
+See ``docs/caching.md`` for the key derivation and invalidation rules.
 """
 
 from repro.runtime.cache import (
@@ -15,6 +31,10 @@ from repro.runtime.cache import (
     CacheStats,
     PersistentLayerCache,
     default_cache_dir,
+    network_result_from_dict,
+    network_result_to_dict,
+    result_from_dict,
+    result_to_dict,
 )
 from repro.runtime.runner import SweepOutcome, SweepRunner
 
@@ -25,4 +45,8 @@ __all__ = [
     "SweepOutcome",
     "SweepRunner",
     "default_cache_dir",
+    "network_result_from_dict",
+    "network_result_to_dict",
+    "result_from_dict",
+    "result_to_dict",
 ]

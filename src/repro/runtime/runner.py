@@ -10,10 +10,13 @@ worker count -- every evaluation is an independent, seed-deterministic
 function of its design point.
 
 Each worker process installs a :class:`repro.runtime.cache.PersistentLayerCache`
-rooted at the runner's cache directory, so layer simulations computed by one
-worker (or a previous run) are read from disk instead of recomputed.  The
-per-chunk cache-activity deltas are shipped back with the results and
-aggregated into :attr:`SweepOutcome.cache_stats`.
+rooted at the runner's cache directory, so simulations computed by one
+worker (or a previous run) are read from disk instead of recomputed --
+whole networks from the network tier in a single read when the exact
+evaluation ran before, individual layers from the layer tier otherwise.
+The per-chunk cache-activity deltas (with their per-tier breakdown) are
+shipped back with the results and aggregated into
+:attr:`SweepOutcome.cache_stats`.
 """
 
 from __future__ import annotations
@@ -99,7 +102,7 @@ class SweepRunner:
     Args:
         workers: process count; ``0`` or ``1`` evaluates serially in-process
             (still through the persistent cache).
-        cache_dir: root of the persistent layer cache; ``None`` picks
+        cache_dir: root of the two-tier persistent cache; ``None`` picks
             ``$REPRO_CACHE_DIR`` or ``~/.cache/repro``.
         use_cache: disable the persistent cache entirely with ``False``.
         chunk_size: design points per task; defaults to

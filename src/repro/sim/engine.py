@@ -12,6 +12,13 @@ samples a configurable number of passes per GEMM (including edge passes)
 and extrapolates -- the same block-sampling the paper's own
 PyTorch-fed simulator performs.  Everything is deterministic in the option
 seed, and layer results are memoized on the full simulation key.
+
+Persistent caching is two-tiered: layer results store under
+:func:`simulation_key` (:data:`SIMULATION_KEY_VERSION`), and whole-network
+results under :func:`network_key` (:data:`NETWORK_KEY_VERSION`), so a warm
+:func:`simulate_network` is a single read.  The engine only knows the
+:class:`LayerResultCache` / :class:`NetworkResultCache` protocols; the
+disk-backed implementation lives in :mod:`repro.runtime.cache`.
 """
 
 from __future__ import annotations
@@ -20,7 +27,7 @@ import hashlib
 from contextlib import contextmanager
 from dataclasses import dataclass, replace
 from functools import lru_cache
-from typing import Iterator, Protocol
+from typing import Iterator, Protocol, runtime_checkable
 
 import numpy as np
 
@@ -344,11 +351,35 @@ class LayerResultCache(Protocol):
     def put(self, key: str, result: LayerSimResult) -> None: ...
 
 
+@runtime_checkable
+class NetworkResultCache(Protocol):
+    """The optional second cache tier: whole-network results.
+
+    Keyed by :func:`network_key`, which hashes the per-layer simulation
+    keys together with the display names the stored result carries, so a
+    warm :func:`simulate_network` resolves in a single read instead of one
+    lookup (plus re-aggregation) per layer.  A persistent cache that also
+    implements this protocol (``get_network`` / ``put_network`` -- checked
+    structurally at runtime) gets the network tier for free; one that only
+    implements :class:`LayerResultCache` keeps working layer-by-layer.
+    """
+
+    def get_network(self, key: str) -> "NetworkSimResult | None": ...
+
+    def put_network(self, key: str, result: "NetworkSimResult") -> None: ...
+
+
 _persistent_cache: LayerResultCache | None = None
 
 #: Version tag of the simulation-key schema.  Bump whenever the simulation
 #: semantics change in a way that invalidates previously cached results.
 SIMULATION_KEY_VERSION = "layer-sim-v1"
+
+#: Version tag of the network-key schema.  Bump when the *aggregation* of
+#: layer results into a network result changes (the layer tier is covered
+#: separately: network keys embed the per-layer simulation keys, so a
+#: ``SIMULATION_KEY_VERSION`` bump invalidates both tiers at once).
+NETWORK_KEY_VERSION = "network-sim-v1"
 
 
 def simulation_key(
@@ -385,6 +416,41 @@ def simulation_key(
         f"opts={options.passes_per_gemm},{options.max_t_steps},{options.seed},"
         f"{options.pipeline_drain},{int(options.include_stalls)},{int(options.include_dram)}",
     ]
+    return hashlib.sha256("|".join(parts).encode()).hexdigest()
+
+
+def network_key(
+    network: Network,
+    config: ArchConfig,
+    category: ModelCategory,
+    options: SimulationOptions,
+) -> str:
+    """Content-addressed key of one whole-network simulation.
+
+    Derived from the per-layer :func:`simulation_key` sequence -- so it
+    inherits every input the layer simulations depend on, including
+    :data:`SIMULATION_KEY_VERSION` -- plus exactly the display metadata the
+    cached :class:`NetworkSimResult` carries: the network name, the layer
+    names in order, and the configuration label (which the layer keys
+    deliberately exclude).  Hashing keys, not results, keeps the derivation
+    cheap: a warm lookup costs one hash and one disk read, no simulation.
+    """
+    parts = [
+        NETWORK_KEY_VERSION,
+        network.name,
+        config.label,
+        category.value,
+    ]
+    for layer in network.layers:
+        key = simulation_key(
+            tuple(layer.spec.gemms()),
+            layer.weight_density,
+            layer.act_density,
+            config,
+            category,
+            options,
+        )
+        parts.append(f"{layer.name}={key}")
     return hashlib.sha256("|".join(parts).encode()).hexdigest()
 
 
@@ -505,14 +571,36 @@ def simulate_layer(
     return result
 
 
+def _network_tier(cache: LayerResultCache | None) -> NetworkResultCache | None:
+    """The installed cache, if it also implements the network tier."""
+    if cache is not None and isinstance(cache, NetworkResultCache):
+        return cache
+    return None
+
+
 def simulate_network(
     network: Network,
     config: ArchConfig,
     category: ModelCategory,
     options: SimulationOptions | None = None,
 ) -> NetworkSimResult:
-    """End-to-end latency of a network on an architecture configuration."""
+    """End-to-end latency of a network on an architecture configuration.
+
+    Resolution is tiered: if the installed persistent cache implements
+    :class:`NetworkResultCache`, the whole network is looked up under its
+    :func:`network_key` first -- a warm run answers in one read with zero
+    layer simulations.  On a miss (or with a layer-only cache) the layers
+    simulate individually through the layer tier, and the aggregated result
+    is written back to the network tier for the next run.
+    """
     options = options or SimulationOptions()
+    tier = _network_tier(_persistent_cache)
+    key = None
+    if tier is not None:
+        key = network_key(network, config, category, options)
+        hit = tier.get_network(key)
+        if hit is not None:
+            return hit
     layer_results = []
     cycles = 0.0
     dense = 0
@@ -521,7 +609,7 @@ def simulate_network(
         layer_results.append(res)
         cycles += res.cycles
         dense += res.dense_cycles
-    return NetworkSimResult(
+    result = NetworkSimResult(
         network=network.name,
         config=config.label,
         category=category,
@@ -529,3 +617,6 @@ def simulate_network(
         dense_cycles=dense,
         layers=tuple(layer_results),
     )
+    if tier is not None and key is not None:
+        tier.put_network(key, result)
+    return result

@@ -1,0 +1,292 @@
+"""Tests for the network-granularity cache tier.
+
+The load-bearing guarantees:
+
+* a warm ``simulate_network`` resolves from the network tier in one read --
+  zero layer-tier lookups, zero layer simulations -- and is bitwise equal
+  to the cold result;
+* a corrupt network entry falls back to the layer tier (and repairs
+  itself), a corrupt layer entry underneath falls back to simulation;
+* the unified :class:`CacheStats` tier accounting is consistent (layer
+  share + network share == totals, through merge/snapshot/delta and the
+  worker-chunk dict round trip);
+* ``network_key`` covers exactly the result's inputs and display metadata;
+* parallel sweeps with the network tier enabled stay bitwise-identical to
+  the serial loop, warm or cold.
+"""
+
+import json
+
+import pytest
+
+from repro.api import Session
+from repro.config import GRIFFIN, ModelCategory, sparse_b
+from repro.dse.evaluate import EvalSettings
+from repro.runtime.cache import (
+    CacheStats,
+    PersistentLayerCache,
+    network_result_from_dict,
+    network_result_to_dict,
+)
+from repro.sim import engine
+from repro.sim.engine import SimulationOptions, network_key, simulate_network
+from repro.workloads.registry import benchmark
+
+OPTIONS = SimulationOptions(passes_per_gemm=1, max_t_steps=16, seed=11)
+CONFIG = sparse_b(4, 0, 1, shuffle=True)
+SETTINGS = EvalSettings(quick=True, options=OPTIONS, networks=("BERT",))
+NETWORK = benchmark("BERT").network
+
+
+@pytest.fixture
+def cold_engine():
+    """No inherited memoization or persistent cache; restore afterwards."""
+    previous = engine.set_persistent_cache(None)
+    engine.clear_memo_cache()
+    yield
+    engine.clear_memo_cache()
+    engine.set_persistent_cache(previous)
+
+
+def key_of(network=NETWORK, config=CONFIG, category=ModelCategory.B,
+           options=OPTIONS):
+    return network_key(network, config, category, options)
+
+
+class TestNetworkKey:
+    def test_deterministic(self):
+        assert key_of() == key_of()
+
+    def test_sensitive_to_every_input(self):
+        base = key_of()
+        assert base != key_of(network=benchmark("AlexNet").network)
+        assert base != key_of(config=sparse_b(4, 0, 2, shuffle=True))
+        assert base != key_of(category=ModelCategory.DENSE)
+        assert base != key_of(
+            options=SimulationOptions(passes_per_gemm=1, max_t_steps=16, seed=12)
+        )
+
+    def test_sensitive_to_display_label(self):
+        """Unlike layer keys, network keys cover the config label: the
+        cached NetworkSimResult stores it, so it must round-trip."""
+        named = sparse_b(4, 0, 1, shuffle=True, name="Sparse.B*")
+        assert key_of() != key_of(config=named)
+
+    def test_griffin_morphs_get_distinct_keys(self):
+        conf_b = GRIFFIN.config_for(ModelCategory.B)
+        conf_ab = GRIFFIN.config_for(ModelCategory.AB)
+        assert key_of(config=conf_b) != key_of(config=conf_ab)
+
+
+class TestSerialization:
+    def test_round_trip_is_exact(self, cold_engine):
+        result = simulate_network(NETWORK, CONFIG, ModelCategory.B, OPTIONS)
+        assert network_result_from_dict(network_result_to_dict(result)) == result
+
+    def test_rejects_unknown_version(self):
+        with pytest.raises(ValueError):
+            network_result_from_dict({"v": 999})
+
+
+class TestNetworkTierRoundTrip:
+    def test_warm_run_is_one_read_zero_layer_lookups(self, cold_engine, tmp_path):
+        writer = PersistentLayerCache(tmp_path)
+        engine.set_persistent_cache(writer)
+        first = simulate_network(NETWORK, CONFIG, ModelCategory.B, OPTIONS)
+        # Cold: network miss, layer misses, both tiers written through.
+        assert writer.stats.network_misses == 1
+        assert writer.stats.network_puts == 1
+        assert writer.stats.layer_misses == writer.stats.layer_puts > 0
+
+        # New process simulated by: cold memo + a fresh cache object.
+        engine.clear_memo_cache()
+        reader = PersistentLayerCache(tmp_path)
+        engine.set_persistent_cache(reader)
+        second = simulate_network(NETWORK, CONFIG, ModelCategory.B, OPTIONS)
+        assert second == first  # floats survive the JSON round trip exactly
+        assert reader.stats.network_hits == 1
+        assert reader.stats.layer_lookups == 0, "whole network in one read"
+        assert reader.stats.hits == 1 and reader.stats.misses == 0
+
+    def test_layer_only_cache_still_works(self, cold_engine, tmp_path):
+        """A cache object without the network tier keeps the old behavior."""
+
+        class LayerOnly:
+            def __init__(self, inner):
+                self.inner = inner
+
+            def get(self, key):
+                return self.inner.get(key)
+
+            def put(self, key, result):
+                self.inner.put(key, result)
+
+        backing = PersistentLayerCache(tmp_path)
+        engine.set_persistent_cache(LayerOnly(backing))
+        first = simulate_network(NETWORK, CONFIG, ModelCategory.B, OPTIONS)
+        assert backing.stats.network_lookups == 0
+        assert backing.stats.layer_puts > 0
+
+        engine.clear_memo_cache()
+        second = simulate_network(NETWORK, CONFIG, ModelCategory.B, OPTIONS)
+        assert second == first
+        assert backing.stats.network_lookups == 0
+
+    def test_display_names_round_trip(self, cold_engine, tmp_path):
+        named = sparse_b(4, 0, 1, shuffle=True, name="Sparse.B*")
+        cache = PersistentLayerCache(tmp_path)
+        engine.set_persistent_cache(cache)
+        first = simulate_network(NETWORK, named, ModelCategory.B, OPTIONS)
+
+        engine.clear_memo_cache()
+        fresh = PersistentLayerCache(tmp_path)
+        engine.set_persistent_cache(fresh)
+        second = simulate_network(NETWORK, named, ModelCategory.B, OPTIONS)
+        assert fresh.stats.network_hits == 1
+        assert second.config == "Sparse.B*"
+        assert second.network == first.network == NETWORK.name
+        assert [l.name for l in second.layers] == [l.name for l in first.layers]
+
+
+class TestCorruptionFallback:
+    def test_corrupt_network_entry_falls_back_to_layer_tier(
+        self, cold_engine, tmp_path
+    ):
+        cache = PersistentLayerCache(tmp_path)
+        engine.set_persistent_cache(cache)
+        first = simulate_network(NETWORK, CONFIG, ModelCategory.B, OPTIONS)
+
+        path = cache.network_path_for(key_of())
+        assert path.is_file()
+        path.write_text("{ this is not json")
+
+        engine.clear_memo_cache()
+        fresh = PersistentLayerCache(tmp_path)
+        engine.set_persistent_cache(fresh)
+        second = simulate_network(NETWORK, CONFIG, ModelCategory.B, OPTIONS)
+        assert second == first
+        # The network tier erred and missed; the layer tier answered; the
+        # repaired network entry went back to disk.
+        assert fresh.stats.network_errors == 1
+        assert fresh.stats.network_misses == 1
+        assert fresh.stats.layer_hits > 0 and fresh.stats.layer_misses == 0
+        assert fresh.stats.network_puts == 1
+        assert json.loads(path.read_text())["network"] == NETWORK.name
+
+    def test_both_tiers_corrupt_recomputes_from_scratch(
+        self, cold_engine, tmp_path
+    ):
+        cache = PersistentLayerCache(tmp_path)
+        engine.set_persistent_cache(cache)
+        first = simulate_network(NETWORK, CONFIG, ModelCategory.B, OPTIONS)
+
+        for entry in list(cache.networks_dir.glob("*/*.json")) + list(
+            cache.layers_dir.glob("*/*.json")
+        ):
+            entry.write_text("garbage")
+
+        engine.clear_memo_cache()
+        fresh = PersistentLayerCache(tmp_path)
+        engine.set_persistent_cache(fresh)
+        second = simulate_network(NETWORK, CONFIG, ModelCategory.B, OPTIONS)
+        assert second == first
+        assert fresh.stats.network_errors == 1
+        assert fresh.stats.layer_errors > 0
+        assert fresh.stats.hits == 0
+
+    def test_wrong_network_schema_version_is_a_miss(self, cold_engine, tmp_path):
+        cache = PersistentLayerCache(tmp_path)
+        engine.set_persistent_cache(cache)
+        first = simulate_network(NETWORK, CONFIG, ModelCategory.B, OPTIONS)
+        path = cache.network_path_for(key_of())
+        stale = json.loads(path.read_text())
+        stale["v"] = 999
+        path.write_text(json.dumps(stale))
+
+        engine.clear_memo_cache()
+        fresh = PersistentLayerCache(tmp_path)
+        engine.set_persistent_cache(fresh)
+        assert simulate_network(NETWORK, CONFIG, ModelCategory.B, OPTIONS) == first
+        assert fresh.stats.network_errors == 1
+
+
+class TestCrossTierStats:
+    def test_tier_shares_sum_to_totals(self, cold_engine, tmp_path):
+        cache = PersistentLayerCache(tmp_path)
+        engine.set_persistent_cache(cache)
+        simulate_network(NETWORK, CONFIG, ModelCategory.B, OPTIONS)
+        engine.clear_memo_cache()
+        simulate_network(NETWORK, CONFIG, ModelCategory.B, OPTIONS)
+
+        s = cache.stats
+        assert s.layer_hits + s.network_hits == s.hits
+        assert s.layer_misses + s.network_misses == s.misses
+        assert s.layer_puts + s.network_puts == s.puts
+        assert s.layer_errors + s.network_errors == s.errors
+        assert s.layer_lookups + s.network_lookups == s.lookups
+
+    def test_merge_snapshot_delta_dict_preserve_tier_breakdown(self):
+        stats = CacheStats(hits=10, misses=2, puts=2, errors=1,
+                           network_hits=4, network_misses=1,
+                           network_puts=1, network_errors=1)
+        snap = stats.snapshot()
+        stats.merge(CacheStats(hits=3, misses=0, puts=0, errors=0,
+                               network_hits=3))
+        delta = stats.delta(snap)
+        assert delta == CacheStats(hits=3, network_hits=3)
+        assert CacheStats.from_dict(stats.as_dict()) == stats
+        assert stats.layer_hits == 6 and stats.network_hits == 7
+
+    def test_old_style_dict_defaults_network_fields_to_zero(self):
+        stats = CacheStats.from_dict({"hits": 5, "misses": 1, "puts": 1})
+        assert stats.network_hits == 0 and stats.layer_hits == 5
+
+    def test_session_outcome_carries_tier_breakdown(self, cold_engine, tmp_path):
+        session = Session(cache_dir=tmp_path)
+        cold = session.evaluate([CONFIG], (ModelCategory.B,), SETTINGS)
+        assert cold.cache_stats.network_puts > 0
+        assert cold.cache_stats.layer_puts > 0
+
+        engine.clear_memo_cache()
+        warm = session.evaluate([CONFIG], (ModelCategory.B,), SETTINGS)
+        assert warm.cache_stats.network_hits > 0
+        assert warm.cache_stats.layer_lookups == 0
+        assert warm.cache_stats.hit_rate == 1.0
+        assert session.stats.network_hits == warm.cache_stats.network_hits
+
+    def test_clear_and_len_cover_both_tiers(self, cold_engine, tmp_path):
+        cache = PersistentLayerCache(tmp_path)
+        engine.set_persistent_cache(cache)
+        simulate_network(NETWORK, CONFIG, ModelCategory.B, OPTIONS)
+        layer_entries = sum(1 for _ in cache.layers_dir.glob("*/*.json"))
+        network_entries = sum(1 for _ in cache.networks_dir.glob("*/*.json"))
+        assert network_entries == 1 and layer_entries > 0
+        assert len(cache) == layer_entries + network_entries
+        assert cache.clear() == layer_entries + network_entries
+        assert len(cache) == 0
+
+
+class TestParallelEqualsSerialWithNetworkTier:
+    def test_parallel_equals_serial_cold_and_warm(self, cold_engine, tmp_path):
+        designs = [sparse_b(2, 0, 0), "Griffin", sparse_b(4, 0, 1, shuffle=True)]
+        cats = (ModelCategory.B, ModelCategory.DENSE)
+        serial = Session(workers=0, cache_dir=tmp_path / "s").evaluate(
+            designs, cats, SETTINGS
+        )
+        engine.clear_memo_cache()
+        parallel_cold = Session(workers=2, cache_dir=tmp_path / "p").evaluate(
+            designs, cats, SETTINGS
+        )
+        assert parallel_cold.evaluations == serial.evaluations
+        assert parallel_cold.cache_stats.network_puts > 0
+
+        # Warm parallel run: answered entirely from the network tier, in
+        # worker processes, still bitwise-identical.
+        engine.clear_memo_cache()
+        parallel_warm = Session(workers=2, cache_dir=tmp_path / "p").evaluate(
+            designs, cats, SETTINGS
+        )
+        assert parallel_warm.evaluations == serial.evaluations
+        assert parallel_warm.cache_stats.network_hits > 0
+        assert parallel_warm.cache_stats.misses == 0
+        assert parallel_warm.cache_stats.layer_lookups == 0
