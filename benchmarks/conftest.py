@@ -13,8 +13,15 @@ persistent cache, so a layer or network simulated for one figure is read
 from disk by every later figure that needs it.  The cache directory is a
 pytest temp dir: benchmark runs never touch (or depend on) the user's
 ``~/.cache/repro``.
+
+Two environment hooks exist for ``tools/bench_report.py`` (the perf
+trajectory recorder): ``REPRO_BENCH_CACHE_DIR`` pins the session's cache
+directory (so per-module pytest invocations share one warm cache), and
+``REPRO_BENCH_STATS_JSON`` dumps the session's unified cache counters to
+the named file when the run ends.
 """
 
+import json
 import os
 
 import pytest
@@ -41,7 +48,15 @@ def settings() -> EvalSettings:
 @pytest.fixture(scope="session")
 def session(tmp_path_factory) -> Session:
     """One session (and one persistent cache) for the whole benchmark run."""
-    return Session(cache_dir=tmp_path_factory.mktemp("repro-cache"))
+    cache_dir = os.environ.get("REPRO_BENCH_CACHE_DIR") or tmp_path_factory.mktemp(
+        "repro-cache"
+    )
+    sess = Session(cache_dir=cache_dir)
+    yield sess
+    stats_path = os.environ.get("REPRO_BENCH_STATS_JSON")
+    if stats_path:
+        with open(stats_path, "w") as handle:
+            json.dump(sess.stats.as_dict(), handle, indent=2)
 
 
 def show(text: str) -> None:

@@ -33,8 +33,8 @@ from repro.config import (
 from repro.api import (
     ExperimentResult,
     ExperimentSpec,
+    SearchResult,
     Session,
-    default_session,
     run_experiment,
 )
 from repro.core.overhead import HardwareOverhead, overhead_of
@@ -48,6 +48,16 @@ from repro.dse.evaluate import (
     parse_design,
 )
 from repro.runtime import CacheStats, PersistentLayerCache, SweepOutcome, SweepRunner
+from repro.search import (
+    EvolutionarySearch,
+    ExhaustiveSearch,
+    ObjectiveSet,
+    ParetoArchive,
+    RandomSearch,
+    SearchSpace,
+    SearchSpec,
+    paper_space,
+)
 from repro.sim.engine import (
     NETWORK_KEY_VERSION,
     SIMULATION_KEY_VERSION,
@@ -63,7 +73,7 @@ from repro.sim.engine import (
 )
 from repro.workloads.registry import BENCHMARKS, benchmark, benchmark_names
 
-__version__ = "1.0.0"
+__version__ = "2.0.0"
 
 __all__ = [
     "ArchConfig",
@@ -84,8 +94,16 @@ __all__ = [
     "Session",
     "ExperimentSpec",
     "ExperimentResult",
-    "default_session",
+    "SearchResult",
     "run_experiment",
+    "SearchSpace",
+    "SearchSpec",
+    "paper_space",
+    "ObjectiveSet",
+    "ParetoArchive",
+    "ExhaustiveSearch",
+    "RandomSearch",
+    "EvolutionarySearch",
     "Design",
     "ConfigDesign",
     "GriffinDesign",

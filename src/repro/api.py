@@ -41,10 +41,16 @@ paper's Fig. 5-8 / Table VI experiments and runs via
       "options": {"passes_per_gemm": 3, "max_t_steps": 64}
     }
 
-The legacy functions (``evaluate_arch``, ``evaluate_griffin``,
-``simulate_network`` used directly) keep working; the first two are
-deprecation shims over :func:`default_session`, slated for removal in
-v2.0 -- see the migration table in ``docs/architecture.md``.
+:meth:`Session.search` extends the same machinery from fixed design lists
+to *guided* design-space search (:mod:`repro.search`): a declarative
+:class:`~repro.search.spec.SearchSpec` (or a space + strategy pair) runs
+through the batched ask/tell loop, every candidate evaluation fanning out
+over the pool and landing in the persistent cache, with the Pareto front
+archived and checkpointable -- see ``docs/search.md``.
+
+The pre-1.0 functions ``evaluate_arch`` / ``evaluate_griffin`` were
+removed in v2.0 after a deprecation cycle; the migration table lives in
+``docs/architecture.md``.
 """
 
 from __future__ import annotations
@@ -71,23 +77,27 @@ from repro.dse.report import format_table, sweep_rows
 from repro.hw.cost import CostBreakdown
 from repro.runtime.cache import CacheStats, PersistentLayerCache, default_cache_dir
 from repro.runtime.runner import ProgressFn, SweepOutcome, SweepRunner
+from repro.runtime.search import SearchLoopOutcome, run_search_loop
+from repro.search.archive import ParetoArchive, SearchRecord
+from repro.search.objectives import ObjectiveSet
+from repro.search.space import SearchSpace, resolve_space
+from repro.search.spec import SPEC_DEFAULT_OPTIONS, SearchSpec
+from repro.search.strategy import ExhaustiveSearch, SearchStrategy
 from repro.sim import engine
 from repro.sim.engine import NetworkSimResult, SimulationOptions, simulate_network
 from repro.workloads.models import Network
 from repro.workloads.registry import benchmark
 
 #: ``use_cache`` mode for sessions that neither install nor remove the
-#: globally installed cache -- the default session backing the deprecation
-#: shims, which must keep the legacy functions' exact semantics.
+#: globally installed cache -- for embedding the session API inside an
+#: environment that already manages the engine-wide persistent cache.
 INHERIT = "inherit"
 
 #: Default sampling of declarative experiments (matches EvalSettings).
-_SPEC_DEFAULT_OPTIONS = {"passes_per_gemm": 3, "max_t_steps": 64}
+_SPEC_DEFAULT_OPTIONS = SPEC_DEFAULT_OPTIONS
 
 _SPEC_KEYS = {"name", "title", "designs", "space", "categories", "quick",
               "networks", "options"}
-_OPTION_KEYS = {"passes_per_gemm", "max_t_steps", "seed", "pipeline_drain",
-                "include_stalls", "include_dram"}
 
 
 @dataclass(frozen=True)
@@ -123,13 +133,6 @@ class ExperimentSpec:
                 f"unknown experiment keys {sorted(unknown)}; "
                 f"accepted: {sorted(_SPEC_KEYS)}"
             )
-        option_data = dict(data.get("options") or {})
-        unknown_options = set(option_data) - _OPTION_KEYS
-        if unknown_options:
-            raise ValueError(
-                f"unknown simulation options {sorted(unknown_options)}; "
-                f"accepted: {sorted(_OPTION_KEYS)}"
-            )
         networks = data.get("networks")
         spec = ExperimentSpec(
             name=str(data.get("name", "experiment")),
@@ -139,7 +142,9 @@ class ExperimentSpec:
             categories=tuple(str(c) for c in data.get("categories") or ()),
             quick=bool(data.get("quick", True)),
             networks=tuple(str(n) for n in networks) if networks else None,
-            options=SimulationOptions(**{**_SPEC_DEFAULT_OPTIONS, **option_data}),
+            options=SimulationOptions.from_dict(
+                dict(data.get("options") or {}), defaults=_SPEC_DEFAULT_OPTIONS
+            ),
         )
         if not spec.designs and spec.space is None:
             raise ValueError("experiment spec needs 'designs' and/or 'space'")
@@ -178,14 +183,7 @@ class ExperimentSpec:
             "categories": list(self.categories),
             "quick": self.quick,
             "networks": list(self.networks) if self.networks else None,
-            "options": {
-                "passes_per_gemm": self.options.passes_per_gemm,
-                "max_t_steps": self.options.max_t_steps,
-                "seed": self.options.seed,
-                "pipeline_drain": self.options.pipeline_drain,
-                "include_stalls": self.options.include_stalls,
-                "include_dram": self.options.include_dram,
-            },
+            "options": self.options.to_dict(),
         }
 
     def resolve_designs(self) -> list[Design]:
@@ -265,6 +263,89 @@ class ExperimentResult:
         }
 
 
+@dataclass(frozen=True)
+class SearchResult:
+    """Archive and bookkeeping of one :meth:`Session.search` run.
+
+    The archive holds every evaluated design with its score vector and
+    full evaluation; :meth:`optimal` applies the paper's product-of-scores
+    compromise rule over the Pareto front (for the default objectives this
+    is exactly the Table VI starred-point selection of
+    :func:`repro.dse.report.select_optimal`).
+    """
+
+    name: str
+    space: SearchSpace
+    strategy: str
+    objectives: ObjectiveSet
+    outcome: SearchLoopOutcome
+    workers: int
+    grid_size: int
+    title: str = ""
+
+    @property
+    def archive(self) -> ParetoArchive:
+        return self.outcome.archive
+
+    @property
+    def cache_stats(self) -> CacheStats:
+        return self.outcome.cache_stats
+
+    @property
+    def evaluated(self) -> int:
+        """Fresh evaluations this run (excludes archive replays)."""
+        return self.outcome.evaluated
+
+    def front(self) -> list[SearchRecord]:
+        return self.archive.front()
+
+    def optimal(self) -> SearchRecord:
+        """The starred point: product rule over the Pareto front."""
+        return self.archive.best(self.objectives.scalar)
+
+    def rows(self, front_only: bool = True) -> list[dict[str, object]]:
+        """Figure-ready rows: one per (front) record, scores per objective."""
+        records = self.front() if front_only else list(self.archive)
+        rows: list[dict[str, object]] = []
+        for record in records:
+            row: dict[str, object] = {"Config": record.label}
+            for objective, score in zip(self.objectives, record.scores):
+                row[objective.name] = score
+            row["on front"] = self.archive.on_front(record.key)
+            rows.append(row)
+        return rows
+
+    def table(self) -> str:
+        """The Pareto front as an aligned ASCII table."""
+        coverage = (
+            f"{len(self.archive)} of {self.grid_size} feasible designs "
+            f"({100.0 * len(self.archive) / max(1, self.grid_size):.1f}%)"
+        )
+        title = (
+            f"{self.title or self.name} [{self.strategy}]: "
+            f"Pareto front after evaluating {coverage}"
+        )
+        return format_table(self.rows(), title=title)
+
+    def to_dict(self) -> dict:
+        """JSON payload for ``repro search --json``."""
+        return {
+            "search": self.name,
+            "space": self.space.to_dict(),
+            "strategy": self.strategy,
+            "objectives": list(self.objectives.names),
+            "grid_size": self.grid_size,
+            "evaluations": len(self.archive),
+            "fresh_evaluations": self.evaluated,
+            "reused": self.outcome.reused,
+            "batches": self.outcome.batches,
+            "workers": self.workers,
+            "optimal": self.optimal().to_dict(),
+            "front": [record.to_dict() for record in self.front()],
+            "cache": self.cache_stats.as_dict(),
+        }
+
+
 class Session:
     """One evaluation path for configs, Griffin, and baselines.
 
@@ -275,8 +356,8 @@ class Session:
             ``$REPRO_CACHE_DIR`` or ``~/.cache/repro``.
         use_cache: ``True`` for a session-owned persistent cache,
             ``False`` for none, or :data:`INHERIT` to use whatever cache is
-            currently installed (serial only; this is what the deprecation
-            shims run under, so legacy semantics are preserved exactly).
+            currently installed (serial only; for embedding inside an
+            environment that manages the engine-wide cache itself).
         settings: default :class:`EvalSettings` for calls that omit them.
         chunk_size: design points per parallel task (defaults to
             :func:`repro.runtime.runner.default_chunk_size`).
@@ -473,22 +554,126 @@ class Session:
             ),
         )
 
+    def search(
+        self,
+        spec: "SearchSpec | SearchSpace | Mapping | str | os.PathLike",
+        strategy: SearchStrategy | None = None,
+        *,
+        objectives: ObjectiveSet | None = None,
+        settings: EvalSettings | None = None,
+        budget: int | None = None,
+        quick: bool | None = None,
+        checkpoint: str | os.PathLike | None = None,
+        resume: bool = False,
+    ) -> SearchResult:
+        """Run a guided design-space search (see ``docs/search.md``).
 
-_default_session: Session | None = None
+        ``spec`` is a :class:`~repro.search.spec.SearchSpec` (object, dict,
+        or JSON path), or directly a :class:`~repro.search.space.SearchSpace`
+        / paper-space preset name (``"a"`` / ``"b"`` / ``"ab"``) -- in
+        which case ``strategy`` picks the search (default: exhaustive).
+        Explicit keyword arguments override the spec.  Candidate batches
+        evaluate through :meth:`evaluate`, so the search parallelizes over
+        the session's workers and is served by the persistent cache; for a
+        fixed strategy seed the run is bitwise-deterministic across runs
+        and worker counts.
 
+        ``checkpoint`` names a JSON file the archive is saved to after
+        every batch; with ``resume=True`` an existing checkpoint seeds the
+        archive, and the strategy replays against the recorded scores
+        without re-evaluating (``quick`` must match the original run for
+        the replay to be meaningful).  ``budget`` caps total recorded
+        evaluations, checkpointed ones included.
+        """
+        search_spec: SearchSpec | None = None
+        if isinstance(spec, SearchSpace):
+            space = spec
+        elif isinstance(spec, str) and spec.lower() in ("a", "b", "ab"):
+            space = resolve_space(spec)
+        else:
+            search_spec = SearchSpec.coerce(spec)
+            space = search_spec.space
 
-def default_session() -> Session:
-    """The process-wide session backing the deprecation shims.
+        if search_spec is not None:
+            if strategy is None:
+                strategy = search_spec.build_strategy()
+            if budget is None:
+                budget = search_spec.strategy.budget
+            if objectives is None:
+                objectives = search_spec.resolve_objectives()
+            if settings is None:
+                settings = search_spec.eval_settings(quick=quick)
+            if checkpoint is None:
+                checkpoint = search_spec.checkpoint
+        else:
+            if strategy is None:
+                strategy = ExhaustiveSearch(space)
+            if budget is None:
+                budget = getattr(strategy, "budget", None)
+            if objectives is None:
+                objectives = ObjectiveSet.for_category(space.default_category())
+            if settings is None:
+                settings = self.settings
 
-    It *inherits* whatever persistent cache is currently installed instead
-    of owning one, so ``evaluate_arch`` / ``evaluate_griffin`` keep their
-    exact pre-session semantics (including "no cache unless one was
-    installed").
-    """
-    global _default_session
-    if _default_session is None:
-        _default_session = Session(use_cache=INHERIT)
-    return _default_session
+        if resume and checkpoint is None:
+            raise ValueError(
+                "resume=True needs a checkpoint path (none was given and "
+                "the spec names none); pass checkpoint=... / --checkpoint"
+            )
+        archive: ParetoArchive | None = None
+        if resume and checkpoint is not None and Path(checkpoint).exists():
+            archive = ParetoArchive.load(checkpoint)
+            if archive.objectives != objectives.names:
+                raise ValueError(
+                    f"checkpoint {str(checkpoint)!r} tracks objectives "
+                    f"{list(archive.objectives)}, this search uses "
+                    f"{list(objectives.names)}"
+                )
+            if archive.space != space.name:
+                raise ValueError(
+                    f"checkpoint {str(checkpoint)!r} was recorded on space "
+                    f"{archive.space!r}, this search runs on {space.name!r}"
+                )
+        if archive is None:
+            archive = ParetoArchive(objectives.names, space=space.name)
+
+        categories = objectives.categories
+        grid_size = len(space)
+
+        def evaluate_batch(configs):
+            outcome = self.evaluate(list(configs), categories, settings)
+            return outcome.evaluations, outcome.cache_stats
+
+        def progress(evaluated: int, cap: int | None) -> None:
+            if self.progress is not None:
+                self.progress(evaluated, cap if cap is not None else grid_size)
+
+        checkpoint_fn = None
+        if checkpoint is not None:
+            checkpoint_fn = lambda: archive.save(checkpoint)  # noqa: E731
+
+        outcome = run_search_loop(
+            strategy,
+            evaluate_batch,
+            objectives,
+            archive,
+            budget=budget,
+            progress=progress,
+            checkpoint=checkpoint_fn,
+        )
+        if checkpoint_fn is not None:
+            checkpoint_fn()
+        describe = getattr(strategy, "describe", None)
+        return SearchResult(
+            name=search_spec.name if search_spec is not None else space.name,
+            title=search_spec.title if search_spec is not None else "",
+            space=space,
+            strategy=describe() if callable(describe) else strategy.name,
+            objectives=objectives,
+            outcome=outcome,
+            workers=self.workers,
+            grid_size=grid_size,
+        )
 
 
 def run_experiment(

@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Five subcommands cover the everyday questions, all driving the same
+Six subcommands cover the everyday questions, all driving the same
 session API (:mod:`repro.api`) so every command shares the parallel
 runner and the two-tier persistent result cache (whole networks, then
 layers -- see ``docs/caching.md``):
@@ -13,7 +13,11 @@ layers -- see ``docs/caching.md``):
   worker processes and print a figure-ready table plus the starred
   optimal point;
 * ``run``      -- execute a declarative experiment spec (JSON), e.g. the
-  checked-in Fig. 8 overall comparison.
+  checked-in Fig. 8 overall comparison;
+* ``search``   -- guided design-space search (:mod:`repro.search`):
+  exhaustive / random / evolutionary strategies over a declarative
+  constrained space, with a Pareto archive and checkpoint/resume (see
+  ``docs/search.md``).
 
 Designs parse uniformly everywhere (:func:`repro.dse.evaluate.parse_design`):
 borrowing notation like ``"B(4,0,1,on)"``, ``Dense``, ``Griffin``, the
@@ -27,6 +31,8 @@ Examples::
     python -m repro compare --category DNN.B --arch Dense --arch "B(4,0,1,on)" --arch Griffin
     python -m repro sweep --space b --workers 4
     python -m repro run examples/experiments/fig8.json --workers 4
+    python -m repro search examples/experiments/search_b.json --workers 4
+    python -m repro search --space b --strategy evolutionary --budget 10 --seed 14
 """
 
 from __future__ import annotations
@@ -34,6 +40,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from dataclasses import replace
 from typing import Sequence
 
 from repro.api import ExperimentSpec, Session
@@ -42,6 +49,9 @@ from repro.dse.evaluate import EvalSettings, parse_design
 from repro.dse.explorer import DESIGN_SPACES, design_space, space_categories, space_label
 from repro.dse.report import format_table, select_optimal, sweep_rows, sweep_table
 from repro.runtime.cache import CacheStats
+from repro.search.space import PAPER_SPACE_NAMES, resolve_space
+from repro.search.spec import SearchSpec, StrategySpec
+from repro.search.strategy import STRATEGY_KINDS
 from repro.sim.engine import SimulationOptions
 from repro.workloads.registry import benchmark_names
 
@@ -210,6 +220,77 @@ def cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_search(args: argparse.Namespace) -> int:
+    # Strategy flags the user actually passed (defaults are None so a spec
+    # file's own tuning survives a partial override).
+    overrides = {
+        key: value
+        for key, value in (
+            ("kind", args.strategy),
+            ("seed", args.seed),
+            ("budget", args.budget),
+            ("population", args.population),
+        )
+        if value is not None
+    }
+    if overrides.get("kind") == "exhaustive" and "budget" not in overrides:
+        # Switching a spec to exhaustive means "the full grid": drop the
+        # spec's sampling budget unless the user explicitly caps it.
+        overrides["budget"] = None
+    if args.spec:
+        spec = SearchSpec.load(args.spec)
+        if overrides:
+            # e.g. `--strategy exhaustive` reuses a spec's space/settings as
+            # the ground truth a guided run is compared against (what the CI
+            # smoke does); everything not overridden keeps the spec's value.
+            spec = replace(spec, strategy=replace(spec.strategy, **overrides))
+    else:
+        if not args.space:
+            raise ValueError(
+                "search needs a spec file (see examples/experiments/"
+                "search_b.json) or --space"
+            )
+        spec = SearchSpec(
+            space=resolve_space(args.space),
+            strategy=StrategySpec(**{"kind": "evolutionary", **overrides}),
+            name=f"search-{args.space}",
+            networks=tuple(args.network) if args.network else None,
+        )
+    quick = True if args.quick else (False if args.full else None)
+
+    session = _session(args)
+    result = session.search(
+        spec,
+        quick=quick,
+        checkpoint=args.checkpoint,
+        resume=args.resume,
+    )
+
+    print(result.space.describe())
+    print(f"strategy: {result.strategy}")
+    print(result.table())
+    star = result.optimal()
+    objectives = " x ".join(result.objectives.names)
+    print(f"optimal point ({objectives}): {star.label}")
+    # CI greps this coverage line -- keep the prefix stable.
+    print(
+        f"evaluated {len(result.archive)} of {result.grid_size} feasible "
+        f"configs ({100.0 * len(result.archive) / max(1, result.grid_size):.1f}%) "
+        f"in {result.outcome.batches} batches"
+        + (f", {result.outcome.reused} answered from checkpoint"
+           if result.outcome.reused else "")
+    )
+    if args.checkpoint:
+        print(f"archive checkpoint: {args.checkpoint}")
+    print(_cache_line(result.cache_stats, session))
+
+    if args.json_path:
+        with open(args.json_path, "w") as handle:
+            json.dump(result.to_dict(), handle, indent=2)
+        print(f"wrote {args.json_path}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="Griffin (HPCA 2022) reproduction toolkit"
@@ -327,6 +408,72 @@ def build_parser() -> argparse.ArgumentParser:
         "--progress", action="store_true", help="report progress on stderr"
     )
     run_.set_defaults(func=cmd_run)
+
+    search = sub.add_parser(
+        "search",
+        help="guided design-space search (constraints, strategies, Pareto "
+             "archive) through the session runtime",
+    )
+    search.add_argument(
+        "spec", nargs="?", default=None,
+        help="path to a search spec JSON (see examples/experiments/"
+             "search_b.json); omit to describe the search with flags",
+    )
+    search.add_argument(
+        "--space", choices=sorted(PAPER_SPACE_NAMES), default=None,
+        help="paper space preset to search when no spec file is given",
+    )
+    search.add_argument(
+        "--strategy", choices=sorted(STRATEGY_KINDS), default=None,
+        help="search strategy (default: evolutionary; overrides a spec "
+             "file's strategy when given)",
+    )
+    search.add_argument(
+        "--budget", type=int, default=None,
+        help="evaluation budget (required for random/evolutionary)",
+    )
+    search.add_argument(
+        "--seed", type=int, default=None,
+        help="strategy seed (deterministic; default 2022, or the spec's)",
+    )
+    search.add_argument(
+        "--population", type=int, default=None,
+        help="evolutionary generation-zero population size "
+             "(default 8, or the spec's)",
+    )
+    search.add_argument(
+        "--network", action="append", choices=benchmark_names(),
+        help="restrict the evaluation suite to these benchmarks (flag mode)",
+    )
+    search.add_argument(
+        "--quick", action="store_true",
+        help="smoke sampling override (1 pass per GEMM, 16 time steps)",
+    )
+    search.add_argument(
+        "--full", action="store_true", help="force the full six-network suite"
+    )
+    search.add_argument(
+        "--workers", type=int, default=0,
+        help="worker processes; 0 evaluates serially in-process",
+    )
+    search.add_argument(
+        "--checkpoint", default=None,
+        help="JSON file the Pareto archive is saved to after every batch",
+    )
+    search.add_argument(
+        "--resume", action="store_true",
+        help="seed the archive from --checkpoint if it exists "
+             "(recorded designs are not re-evaluated)",
+    )
+    cache_flags(search, stats_flag=False)
+    search.add_argument(
+        "--json", dest="json_path", default=None,
+        help="also write the archive/front payload to this JSON file",
+    )
+    search.add_argument(
+        "--progress", action="store_true", help="report progress on stderr"
+    )
+    search.set_defaults(func=cmd_search)
     return parser
 
 

@@ -15,13 +15,11 @@ from repro.dse.evaluate import (
     GriffinDesign,
     as_design,
     category_speedup,
-    evaluate_arch,
     evaluate_design,
-    evaluate_griffin,
     parse_design,
 )
 from repro.dse.figures import bar_chart, scatter_plot
-from repro.dse.pareto import pareto_front
+from repro.dse.pareto import dominates, pareto_front, pareto_ranks
 from repro.dse.report import format_table, select_optimal
 
 __all__ = [
@@ -39,9 +37,9 @@ __all__ = [
     "parse_design",
     "category_speedup",
     "evaluate_design",
-    "evaluate_arch",
-    "evaluate_griffin",
+    "dominates",
     "pareto_front",
+    "pareto_ranks",
     "bar_chart",
     "scatter_plot",
     "format_table",

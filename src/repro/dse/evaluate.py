@@ -18,14 +18,13 @@ them::
 
 The batch/parallel entry point -- backed by the two-tier persistent cache,
 so repeated figure runs answer from disk -- is
-:meth:`repro.api.Session.evaluate`; the old per-family functions
-``evaluate_arch`` / ``evaluate_griffin`` remain as deprecation shims
-until v2.0.
+:meth:`repro.api.Session.evaluate`.  (The pre-1.0 per-family functions
+``evaluate_arch`` / ``evaluate_griffin`` were removed in v2.0 after their
+deprecation cycle; see the migration table in ``docs/architecture.md``.)
 """
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field
 from typing import Protocol, Sequence, Union, runtime_checkable
 
@@ -363,65 +362,3 @@ def evaluate_design(
         for category in categories
     )
     return DesignEvaluation(label=design.label, points=points)
-
-
-def evaluate_arch(
-    config: ArchConfig,
-    categories: tuple[ModelCategory, ...],
-    settings: EvalSettings | None = None,
-    calibration: FamilyCalibration | None = None,
-    power_mw: float | None = None,
-    area_um2: float | None = None,
-) -> DesignEvaluation:
-    """Deprecated: evaluate one configuration across model categories.
-
-    Shim over the session API -- identical results to
-    ``Session.evaluate([ConfigDesign(config, ...)], categories, settings)``.
-
-    .. deprecated:: 1.0
-        Scheduled for **removal in v2.0**.  Migrate to
-        :meth:`repro.api.Session.evaluate` (see the table in
-        ``docs/architecture.md``); no caller remains in this repository.
-    """
-    warnings.warn(
-        "evaluate_arch() is deprecated and will be REMOVED in v2.0; use "
-        "repro.api.Session.evaluate() (or evaluate_design) instead -- "
-        "migration table in docs/architecture.md",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    from repro.api import default_session
-
-    design = ConfigDesign(
-        config, calibration=calibration, power_mw=power_mw, area_um2=area_um2
-    )
-    return default_session().evaluate_one(design, tuple(categories), settings)
-
-
-def evaluate_griffin(
-    griffin: GriffinArch,
-    categories: tuple[ModelCategory, ...] = tuple(ModelCategory),
-    settings: EvalSettings | None = None,
-) -> DesignEvaluation:
-    """Deprecated: evaluate the hybrid Griffin architecture.
-
-    Shim over the session API -- identical results to
-    ``Session.evaluate([GriffinDesign(griffin)], categories, settings)``.
-
-    .. deprecated:: 1.0
-        Scheduled for **removal in v2.0**.  Migrate to
-        :meth:`repro.api.Session.evaluate` (see the table in
-        ``docs/architecture.md``); no caller remains in this repository.
-    """
-    warnings.warn(
-        "evaluate_griffin() is deprecated and will be REMOVED in v2.0; use "
-        "repro.api.Session.evaluate() (or evaluate_design) instead -- "
-        "migration table in docs/architecture.md",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    from repro.api import default_session
-
-    return default_session().evaluate_one(
-        GriffinDesign(griffin), tuple(categories), settings
-    )

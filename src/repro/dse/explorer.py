@@ -7,14 +7,24 @@ overhead), and excludes the regions its results sections rule out
 (``db1 = 1`` is "far from the optimal points"; dual designs with
 ``da3 > 0`` are never Pareto-optimal because ``da3`` inflates the AMUX,
 and ``da1 > 2`` inflates the BBUF).
+
+These generators are thin wrappers over the declarative
+:class:`repro.search.space.SearchSpace` machinery -- each builds the
+corresponding space and enumerates it, so the legacy lists and the guided
+search (``repro search``) stay element-for-element identical.  The
+canonical paper-space instances live in :func:`repro.search.space.paper_space`.
 """
 
 from __future__ import annotations
 
 from typing import Callable
 
-from repro.config import ArchConfig, ModelCategory, sparse_a, sparse_ab, sparse_b
-from repro.core.overhead import overhead_of
+from repro.config import ArchConfig, ModelCategory
+from repro.search.space import (
+    MaxAmuxFanin,
+    MaxMuxFanin,
+    SearchSpace,
+)
 
 
 def sparse_b_space(
@@ -25,17 +35,17 @@ def sparse_b_space(
     shuffle_options: tuple[bool, ...] = (False, True),
 ) -> list[ArchConfig]:
     """The Fig. 5 weight-only sweep (AMUX fan-in <= 8, db1 > 1)."""
-    configs = []
-    for db1 in db1_values:
-        if db1 <= 1:
-            continue  # removed by the paper as far from optimal
-        for db2 in range(max_db2 + 1):
-            for db3 in range(max_db3 + 1):
-                for shuffle in shuffle_options:
-                    config = sparse_b(db1, db2, db3, shuffle=shuffle)
-                    if overhead_of(config).amux_fanin <= max_amux_fanin:
-                        configs.append(config)
-    return configs
+    db1 = tuple(v for v in db1_values if v > 1)  # paper: db1 = 1 far from optimal
+    if not db1:
+        return []
+    return SearchSpace(
+        name="b",
+        db1=db1,
+        db2=tuple(range(max_db2 + 1)),
+        db3=tuple(range(max_db3 + 1)),
+        shuffle=shuffle_options,
+        constraints=(MaxAmuxFanin(max_amux_fanin),),
+    ).configs()
 
 
 def sparse_a_space(
@@ -46,16 +56,14 @@ def sparse_a_space(
     shuffle_options: tuple[bool, ...] = (False, True),
 ) -> list[ArchConfig]:
     """The Fig. 6 activation-only sweep (AMUX/BMUX fan-in <= 8)."""
-    configs = []
-    for da1 in da1_values:
-        for da2 in range(max_da2 + 1):
-            for da3 in range(max_da3 + 1):
-                for shuffle in shuffle_options:
-                    config = sparse_a(da1, da2, da3, shuffle=shuffle)
-                    ovh = overhead_of(config)
-                    if max(ovh.amux_fanin, ovh.bmux_fanin) <= max_fanin:
-                        configs.append(config)
-    return configs
+    return SearchSpace(
+        name="a",
+        da1=tuple(da1_values),
+        da2=tuple(range(max_da2 + 1)),
+        da3=tuple(range(max_da3 + 1)),
+        shuffle=shuffle_options,
+        constraints=(MaxMuxFanin(max_fanin),),
+    ).configs()
 
 
 def sparse_ab_space(
@@ -74,16 +82,15 @@ def sparse_ab_space(
     left at zero because shuffling replaces it at ~2% of the cost
     (observation 1); the shuffle-off points keep ``db2`` as the comparison.
     """
-    configs = []
-    for da1 in da1_values:
-        for db1 in db1_values:
-            for db2 in range(max_db2 + 1):
-                for db3 in range(max_db3 + 1):
-                    for shuffle in shuffle_options:
-                        config = sparse_ab(da1, 0, 0, db1, db2, db3, shuffle=shuffle)
-                        if overhead_of(config).amux_fanin <= max_amux_fanin:
-                            configs.append(config)
-    return configs
+    return SearchSpace(
+        name="ab",
+        da1=tuple(da1_values),
+        db1=tuple(db1_values),
+        db2=tuple(range(max_db2 + 1)),
+        db3=tuple(range(max_db3 + 1)),
+        shuffle=shuffle_options,
+        constraints=(MaxAmuxFanin(max_amux_fanin),),
+    ).configs()
 
 
 #: The named design spaces ``repro sweep`` can drive.
@@ -114,14 +121,24 @@ def space_label(name: str) -> str:
     return SPACE_LABELS.get(name.lower(), f"Sparse.{name.upper()} space")
 
 
+def _unknown_space_error(name: str) -> str:
+    """The full 'what would have been accepted' message for a bad name."""
+    lines = [f"unknown design space {name!r}; valid spaces (case-insensitive):"]
+    for key in sorted(DESIGN_SPACES):
+        lines.append(f"  - {key!r:5} ({SPACE_LABELS[key]} sweep)")
+    lines.append(
+        "arbitrary domains/constraints are available through "
+        "repro.search.SearchSpace and `repro search`"
+    )
+    return "\n".join(lines)
+
+
 def design_space(name: str) -> list[ArchConfig]:
     """Look a sweep space up by name (``"a"``, ``"b"`` or ``"ab"``)."""
     try:
         return DESIGN_SPACES[name.lower()]()
     except KeyError:
-        raise ValueError(
-            f"unknown design space {name!r}; choose from {sorted(DESIGN_SPACES)}"
-        ) from None
+        raise ValueError(_unknown_space_error(name)) from None
 
 
 def space_categories(name: str) -> tuple[ModelCategory, ModelCategory]:
@@ -129,6 +146,4 @@ def space_categories(name: str) -> tuple[ModelCategory, ModelCategory]:
     try:
         return (SPACE_CATEGORIES[name.lower()], ModelCategory.DENSE)
     except KeyError:
-        raise ValueError(
-            f"unknown design space {name!r}; choose from {sorted(SPACE_CATEGORIES)}"
-        ) from None
+        raise ValueError(_unknown_space_error(name)) from None

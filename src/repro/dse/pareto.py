@@ -1,4 +1,11 @@
-"""Pareto-front extraction for the efficiency scatter plots (Figs. 5-7)."""
+"""Pareto-front extraction for the efficiency scatter plots (Figs. 5-7).
+
+All objectives are *maximized*.  Besides the front itself the module
+exposes the two primitives the guided-search layer builds on:
+:func:`dominates` (the strict dominance test) and :func:`pareto_ranks`
+(non-dominated sorting, the selection pressure of
+:class:`repro.search.strategy.EvolutionarySearch`).
+"""
 
 from __future__ import annotations
 
@@ -7,28 +14,71 @@ from typing import Callable, Iterable, Sequence, TypeVar
 T = TypeVar("T")
 
 
+def dominates(a: Sequence[float], b: Sequence[float]) -> bool:
+    """True when score vector ``a`` dominates ``b`` (maximize-objectives).
+
+    ``a`` dominates ``b`` when it is at least as good on every objective
+    and strictly better on at least one.  Identical vectors (ties) and
+    empty vectors dominate nothing.
+    """
+    if len(a) != len(b):
+        raise ValueError(f"score vectors differ in length: {len(a)} vs {len(b)}")
+    return all(x >= y for x, y in zip(a, b)) and any(x > y for x, y in zip(a, b))
+
+
 def pareto_front(
     items: Iterable[T],
     objectives: Sequence[Callable[[T], float]],
+    dedupe: bool = False,
 ) -> list[T]:
     """Items not dominated on the given maximize-objectives.
 
     An item is dominated if another is at least as good on every objective
     and strictly better on one.  Returns the front in the input order.
+
+    Tied items (identical score vectors) never dominate each other, so by
+    default *every* copy of a duplicated front point is returned;
+    ``dedupe=True`` keeps only the first item of each distinct front score
+    vector (the stable choice for archives that must not grow with
+    re-submitted duplicates).
     """
     items = list(items)
-    scores = [[obj(item) for obj in objectives] for item in items]
-    front = []
+    scores = [tuple(obj(item) for obj in objectives) for item in items]
+    front: list[T] = []
+    seen_scores: set[tuple[float, ...]] = set()
     for i, item in enumerate(items):
-        dominated = False
-        for j, other in enumerate(scores):
-            if j == i:
+        if any(dominates(other, scores[i]) for j, other in enumerate(scores) if j != i):
+            continue
+        if dedupe:
+            if scores[i] in seen_scores:
                 continue
-            if all(o >= s for o, s in zip(other, scores[i])) and any(
-                o > s for o, s in zip(other, scores[i])
-            ):
-                dominated = True
-                break
-        if not dominated:
-            front.append(item)
+            seen_scores.add(scores[i])
+        front.append(item)
     return front
+
+
+def pareto_ranks(scores: Sequence[Sequence[float]]) -> list[int]:
+    """Non-dominated sorting rank of every score vector (0 = on the front).
+
+    Rank ``r`` contains the vectors that become non-dominated once every
+    vector of rank ``< r`` is removed -- the standard NSGA-style layering.
+    Tied vectors always share a rank.  Returns one rank per input, in
+    input order.
+    """
+    scores = [tuple(s) for s in scores]
+    ranks = [-1] * len(scores)
+    remaining = list(range(len(scores)))
+    rank = 0
+    while remaining:
+        layer = [
+            i
+            for i in remaining
+            if not any(dominates(scores[j], scores[i]) for j in remaining if j != i)
+        ]
+        if not layer:  # pragma: no cover -- dominance is a strict partial order
+            raise RuntimeError("non-dominated sorting failed to peel a layer")
+        for i in layer:
+            ranks[i] = rank
+        remaining = [i for i in remaining if ranks[i] < 0]
+        rank += 1
+    return ranks

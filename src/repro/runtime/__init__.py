@@ -11,7 +11,10 @@ loop into an incremental, parallel one:
   reuse work across configs and categories);
 * :class:`~repro.runtime.runner.SweepRunner` fans design-point evaluations
   out over worker processes with deterministic chunking, so any worker
-  count reproduces the serial results bit for bit.
+  count reproduces the serial results bit for bit;
+* :func:`~repro.runtime.search.run_search_loop` pumps guided-search
+  strategies (:mod:`repro.search`) through batched, cache-backed
+  evaluations -- the ask/tell loop behind ``repro search``.
 
 Example -- a warm sweep served from the network tier::
 
@@ -37,8 +40,11 @@ from repro.runtime.cache import (
     result_to_dict,
 )
 from repro.runtime.runner import SweepOutcome, SweepRunner
+from repro.runtime.search import SearchLoopOutcome, run_search_loop
 
 __all__ = [
+    "SearchLoopOutcome",
+    "run_search_loop",
     "CACHE_DIR_ENV",
     "CacheStats",
     "PersistentLayerCache",

@@ -1,0 +1,142 @@
+"""The batched ask/tell evaluation loop behind guided search.
+
+:func:`run_search_loop` is the runtime half of :mod:`repro.search`: it
+pumps candidate batches out of a strategy, evaluates every *new* config
+through one batched ``evaluate_batch`` call (in practice
+:meth:`repro.api.Session.evaluate`, so candidates fan out over worker
+processes and land in the two-tier persistent cache), folds the scores
+into a :class:`~repro.search.archive.ParetoArchive`, and feeds the results
+back to the strategy.  Configs the archive has already recorded -- from a
+resumed checkpoint or a repetitive strategy -- are answered from the
+archive without re-evaluation, which is what makes checkpoint/resume and
+warm re-runs effectively free.
+
+Determinism: batches are evaluated order-preserved and every evaluation is
+a pure function of its design point, so for a fixed strategy seed the loop
+is bitwise-identical across runs and worker counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Protocol, Sequence
+
+from repro.config import ArchConfig
+from repro.dse.evaluate import DesignEvaluation
+from repro.runtime.cache import CacheStats
+from repro.search.archive import ParetoArchive
+from repro.search.objectives import ObjectiveSet
+from repro.search.strategy import SearchStrategy, TellResult
+
+#: Evaluate a batch of configs, order-preserving; returns the evaluations
+#: plus the persistent-cache activity of the batch.
+EvaluateBatch = Callable[
+    [Sequence[ArchConfig]], tuple[Sequence[DesignEvaluation], CacheStats]
+]
+
+
+class SearchProgressFn(Protocol):
+    def __call__(self, evaluated: int, budget: int | None) -> None: ...
+
+
+@dataclass(frozen=True)
+class SearchLoopOutcome:
+    """Bookkeeping of one ask/tell run (the archive carries the results)."""
+
+    archive: ParetoArchive
+    cache_stats: CacheStats
+    batches: int
+    evaluated: int
+    reused: int
+
+    @property
+    def total_told(self) -> int:
+        """Results handed to the strategy (fresh evaluations + replays)."""
+        return self.evaluated + self.reused
+
+
+def run_search_loop(
+    strategy: SearchStrategy,
+    evaluate_batch: EvaluateBatch,
+    objectives: ObjectiveSet,
+    archive: ParetoArchive,
+    budget: int | None = None,
+    progress: SearchProgressFn | None = None,
+    checkpoint: Callable[[], None] | None = None,
+) -> SearchLoopOutcome:
+    """Drive a strategy to completion (or to its evaluation budget).
+
+    ``budget`` caps *fresh* evaluations added to the archive, counting any
+    records a resumed archive already holds; replayed answers are free.
+    ``checkpoint`` (if given) runs after every batch that changed the
+    archive -- ``repro search --checkpoint`` saves the archive there, so a
+    killed run loses at most one batch.
+    """
+    if budget is not None and budget < 1:
+        raise ValueError(f"budget must be >= 1, got {budget}")
+    stats = CacheStats()
+    batches = 0
+    evaluated = 0
+    reused = 0
+    replay_streak = 0
+    while budget is None or len(archive) < budget:
+        asked = strategy.ask()
+        if not asked:
+            break
+        # Dedup within the batch; split into archive replays vs fresh work.
+        batch: list[ArchConfig] = []
+        seen: set[str] = set()
+        for config in asked:
+            if config.notation not in seen:
+                seen.add(config.notation)
+                batch.append(config)
+        fresh = [config for config in batch if config.notation not in archive]
+        if budget is not None:
+            fresh = fresh[: budget - len(archive)]
+        fresh_keys = {config.notation for config in fresh}
+
+        # A well-behaved strategy eventually proposes something new (or goes
+        # silent); bound the replay-only churn so a broken one cannot spin
+        # the loop forever.  Resumed runs legitimately replay many batches
+        # before reaching fresh ground, so the cap is deliberately generous.
+        replay_streak = 0 if fresh else replay_streak + 1
+        if replay_streak > 10_000:
+            raise RuntimeError(
+                f"search strategy {strategy.name!r} proposed 10000 consecutive "
+                f"batches with no unevaluated config; aborting the loop"
+            )
+
+        if fresh:
+            evaluations, batch_stats = evaluate_batch(fresh)
+            stats.merge(batch_stats)
+            for config, evaluation in zip(fresh, evaluations):
+                archive.record(
+                    config.notation, evaluation, objectives.scores(evaluation)
+                )
+            evaluated += len(fresh)
+            batches += 1
+            if checkpoint is not None:
+                checkpoint()
+            if progress is not None:
+                progress(len(archive), budget)
+
+        results: list[TellResult] = []
+        for config in batch:
+            record = archive.get(config.notation)
+            if record is None:
+                continue  # trimmed by the budget: never evaluated
+            results.append((config, record.scores))
+            if config.notation not in fresh_keys:
+                reused += 1
+        if not results:
+            # The strategy asked only for configs the budget excluded;
+            # telling it nothing cannot advance it, so stop here.
+            break
+        strategy.tell(results)
+    return SearchLoopOutcome(
+        archive=archive,
+        cache_stats=stats,
+        batches=batches,
+        evaluated=evaluated,
+        reused=reused,
+    )

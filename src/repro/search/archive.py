@@ -1,0 +1,228 @@
+"""Incremental Pareto archive with dominance bookkeeping and checkpoints.
+
+The archive records every evaluated design of a search run and maintains
+its Pareto front *incrementally*: each :meth:`ParetoArchive.add` either
+rejects the newcomer (dominated), or admits it and evicts the front
+members it dominates -- O(front) per insertion instead of re-running the
+O(n^2) batch extraction.  Ties are kept (two designs with identical score
+vectors are both on the front); re-submitting an already-recorded design
+is a no-op, so the archive never grows with duplicates.
+
+``save``/``load`` round-trip the archive through JSON, which is what
+``repro search --checkpoint`` writes after every batch.  A resumed search
+replays its strategy against the recorded results (evaluations are only
+re-run for designs the archive has not seen), so a killed run continues
+bitwise-identically.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator, Mapping
+
+from repro.config import CoreGeometry
+from repro.core.metrics import EfficiencyPoint
+from repro.dse.evaluate import DesignEvaluation
+from repro.dse.pareto import dominates
+
+#: Bump when the checkpoint JSON layout changes incompatibly.
+ARCHIVE_FORMAT_VERSION = 1
+
+
+def _point_to_dict(point: EfficiencyPoint) -> dict:
+    geom = point.geometry
+    return {
+        "label": point.label,
+        "category": point.category,
+        "speedup": point.speedup,
+        "power_mw": point.power_mw,
+        "area_um2": point.area_um2,
+        "geometry": {
+            "k0": geom.k0,
+            "n0": geom.n0,
+            "m0": geom.m0,
+            "frequency_mhz": geom.frequency_mhz,
+            "precision_bits": geom.precision_bits,
+        },
+    }
+
+
+def _point_from_dict(data: Mapping) -> EfficiencyPoint:
+    return EfficiencyPoint(
+        label=str(data["label"]),
+        category=str(data["category"]),
+        speedup=float(data["speedup"]),
+        power_mw=float(data["power_mw"]),
+        area_um2=float(data["area_um2"]),
+        geometry=CoreGeometry(**data["geometry"]),
+    )
+
+
+@dataclass(frozen=True)
+class SearchRecord:
+    """One evaluated design: identity, score vector, full evaluation.
+
+    ``key`` is the config's canonical notation (its search-space identity);
+    ``index`` the 0-based order in which the search evaluated it.
+    """
+
+    key: str
+    index: int
+    scores: tuple[float, ...]
+    evaluation: DesignEvaluation
+
+    @property
+    def label(self) -> str:
+        return self.evaluation.label
+
+    def to_dict(self) -> dict:
+        return {
+            "key": self.key,
+            "index": self.index,
+            "scores": list(self.scores),
+            "label": self.evaluation.label,
+            "points": [_point_to_dict(p) for p in self.evaluation.points],
+        }
+
+    @staticmethod
+    def from_dict(data: Mapping) -> "SearchRecord":
+        return SearchRecord(
+            key=str(data["key"]),
+            index=int(data["index"]),
+            scores=tuple(float(s) for s in data["scores"]),
+            evaluation=DesignEvaluation(
+                label=str(data["label"]),
+                points=tuple(_point_from_dict(p) for p in data["points"]),
+            ),
+        )
+
+
+class ParetoArchive:
+    """All evaluated designs of a search run plus their live Pareto front.
+
+    Args:
+        objectives: the score-vector component names (for checkpoint
+            validation -- resuming under different objectives is an error).
+        space: the search-space name the records came from (same purpose).
+    """
+
+    def __init__(self, objectives: tuple[str, ...], space: str = "custom") -> None:
+        if not objectives:
+            raise ValueError("archive needs at least one objective name")
+        self.objectives = tuple(objectives)
+        self.space = space
+        self._records: dict[str, SearchRecord] = {}
+        self._front: list[str] = []
+
+    # -- bookkeeping ---------------------------------------------------
+
+    def __len__(self) -> int:
+        """Number of evaluated designs (the search's evaluation count)."""
+        return len(self._records)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._records
+
+    def __iter__(self) -> Iterator[SearchRecord]:
+        """All records in evaluation order."""
+        return iter(self._records.values())
+
+    def get(self, key: str) -> SearchRecord | None:
+        return self._records.get(key)
+
+    def record(self, key: str, evaluation: DesignEvaluation,
+               scores: tuple[float, ...]) -> SearchRecord:
+        """Build and :meth:`add` a record with the next evaluation index."""
+        return self.add(
+            SearchRecord(key=key, index=len(self._records),
+                         scores=tuple(scores), evaluation=evaluation)
+        )
+
+    def add(self, record: SearchRecord) -> SearchRecord:
+        """Insert a record, updating the front; duplicate keys are no-ops.
+
+        Returns the archived record for ``record.key`` (the pre-existing
+        one when the key was already recorded).
+        """
+        if len(record.scores) != len(self.objectives):
+            raise ValueError(
+                f"record {record.key!r} has {len(record.scores)} scores, "
+                f"archive tracks {len(self.objectives)} objectives"
+            )
+        existing = self._records.get(record.key)
+        if existing is not None:
+            return existing
+        self._records[record.key] = record
+        if not any(
+            dominates(self._records[key].scores, record.scores)
+            for key in self._front
+        ):
+            self._front = [
+                key
+                for key in self._front
+                if not dominates(record.scores, self._records[key].scores)
+            ]
+            self._front.append(record.key)
+        return record
+
+    def on_front(self, key: str) -> bool:
+        return key in self._front
+
+    def front(self) -> list[SearchRecord]:
+        """The non-dominated records, in evaluation order."""
+        return sorted(
+            (self._records[key] for key in self._front),
+            key=lambda record: record.index,
+        )
+
+    def best(self, scalar) -> SearchRecord:
+        """The front record maximizing ``scalar(scores)`` (first on ties)."""
+        front = self.front()
+        if not front:
+            raise ValueError("archive is empty; nothing to select from")
+        return max(front, key=lambda record: (scalar(record.scores), -record.index))
+
+    # -- checkpoint / resume -------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "version": ARCHIVE_FORMAT_VERSION,
+            "space": self.space,
+            "objectives": list(self.objectives),
+            "records": [record.to_dict() for record in self],
+        }
+
+    @staticmethod
+    def from_dict(data: Mapping) -> "ParetoArchive":
+        version = data.get("version")
+        if version != ARCHIVE_FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported archive format version {version!r} "
+                f"(this build reads {ARCHIVE_FORMAT_VERSION})"
+            )
+        archive = ParetoArchive(
+            objectives=tuple(str(o) for o in data["objectives"]),
+            space=str(data.get("space", "custom")),
+        )
+        records = sorted(
+            (SearchRecord.from_dict(r) for r in data["records"]),
+            key=lambda record: record.index,
+        )
+        for record in records:
+            archive.add(record)
+        return archive
+
+    def save(self, path: str | os.PathLike) -> None:
+        """Write the checkpoint atomically (write-then-rename)."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(path.name + ".tmp")
+        tmp.write_text(json.dumps(self.to_dict(), indent=2))
+        tmp.replace(path)
+
+    @staticmethod
+    def load(path: str | os.PathLike) -> "ParetoArchive":
+        return ParetoArchive.from_dict(json.loads(Path(path).read_text()))

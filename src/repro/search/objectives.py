@@ -1,0 +1,118 @@
+"""Search objectives: what "better" means for a design point.
+
+An :class:`Objective` names one maximized metric of a
+:class:`~repro.dse.evaluate.DesignEvaluation` -- effective TOPS/W,
+TOPS/mm^2, or raw speedup on one model category.  An :class:`ObjectiveSet`
+turns an evaluation into the score vector the Pareto machinery ranks, and
+collapses a vector to the paper's scalar compromise rule (the *product* of
+the scores, the same scale-free rule
+:func:`repro.dse.report.select_optimal` applies to pick the Table VI
+starred points).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.config import ModelCategory
+from repro.dse.evaluate import DesignEvaluation
+
+#: Metrics an objective may maximize.
+METRICS = ("tops_per_watt", "tops_per_mm2", "speedup")
+
+
+@dataclass(frozen=True)
+class Objective:
+    """Maximize one efficiency metric on one model category."""
+
+    category: ModelCategory
+    metric: str = "tops_per_watt"
+
+    def __post_init__(self) -> None:
+        if self.metric not in METRICS:
+            raise ValueError(
+                f"unknown objective metric {self.metric!r}; "
+                f"choose from {list(METRICS)}"
+            )
+
+    @property
+    def name(self) -> str:
+        return f"{self.category.value}:{self.metric}"
+
+    def value(self, evaluation: DesignEvaluation) -> float:
+        return getattr(evaluation.point(self.category), self.metric)
+
+    def to_dict(self) -> dict:
+        return {"category": self.category.value, "metric": self.metric}
+
+    @staticmethod
+    def from_dict(data: Mapping) -> "Objective":
+        unknown = set(data) - {"category", "metric"}
+        if unknown:
+            raise ValueError(
+                f"unknown objective keys {sorted(unknown)}; "
+                f"accepted: ['category', 'metric']"
+            )
+        if "category" not in data:
+            raise ValueError("objective needs a 'category'")
+        return Objective(
+            category=ModelCategory.from_text(str(data["category"])),
+            metric=str(data.get("metric", "tops_per_watt")),
+        )
+
+
+@dataclass(frozen=True)
+class ObjectiveSet:
+    """The (ordered) objectives of one search run, all maximized."""
+
+    objectives: tuple[Objective, ...]
+
+    def __post_init__(self) -> None:
+        if not self.objectives:
+            raise ValueError("a search needs at least one objective")
+
+    def __len__(self) -> int:
+        return len(self.objectives)
+
+    def __iter__(self):
+        return iter(self.objectives)
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(obj.name for obj in self.objectives)
+
+    @property
+    def categories(self) -> tuple[ModelCategory, ...]:
+        """The distinct categories the objectives need, in first-use order."""
+        return tuple(dict.fromkeys(obj.category for obj in self.objectives))
+
+    def scores(self, evaluation: DesignEvaluation) -> tuple[float, ...]:
+        """The evaluation's score vector, in objective order."""
+        return tuple(obj.value(evaluation) for obj in self.objectives)
+
+    def scalar(self, scores: Sequence[float]) -> float:
+        """The paper's compromise rule: the product of the scores.
+
+        This is the rule behind the Table VI starred points ("high TOPS/W
+        on the sparse category with minimal efficiency loss on dense"),
+        generalized to any objective count.
+        """
+        return math.prod(scores)
+
+    def to_dicts(self) -> list[dict]:
+        return [obj.to_dict() for obj in self.objectives]
+
+    @staticmethod
+    def from_dicts(data: Sequence[Mapping]) -> "ObjectiveSet":
+        return ObjectiveSet(tuple(Objective.from_dict(item) for item in data))
+
+    @staticmethod
+    def for_category(sparse: ModelCategory) -> "ObjectiveSet":
+        """The paper's default pair: sparse-category and dense TOPS/W."""
+        if sparse is ModelCategory.DENSE:
+            return ObjectiveSet((Objective(ModelCategory.DENSE),))
+        return ObjectiveSet(
+            (Objective(sparse), Objective(ModelCategory.DENSE))
+        )

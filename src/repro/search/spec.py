@@ -1,0 +1,223 @@
+"""Declarative search specifications (the ``repro search`` JSON input).
+
+A :class:`SearchSpec` is to guided search what
+:class:`repro.api.ExperimentSpec` is to fixed design lists, and it shares
+the experiment vocabulary for everything evaluation-related (``quick`` /
+``networks`` / ``options`` mean exactly what they mean in an experiment
+spec).  On top it names the space (a Fig. 5-7 preset or explicit domains +
+constraints), the strategy and its seed/budget, and the objectives::
+
+    {
+      "name": "find-b-star",
+      "space": {"db1": [1, 2, 3, 4, 5, 6, 7], "db2": [0, 1, 2, 3],
+                "db3": [0, 1, 2], "max_amux_fanin": 8},
+      "strategy": {"kind": "evolutionary", "seed": 2022, "budget": 10},
+      "objectives": [{"category": "DNN.B"}, {"category": "DNN.dense"}],
+      "quick": true,
+      "options": {"passes_per_gemm": 1, "max_t_steps": 16}
+    }
+
+``space`` may also be a preset name (``"b"``) or ``{"preset": "b"}``.
+Objectives default to the paper's pair for the space's inferred sparse
+category: sparse-category TOPS/W x dense TOPS/W.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Mapping
+
+from repro.dse.evaluate import EvalSettings
+from repro.search.objectives import ObjectiveSet
+from repro.search.space import SearchSpace, resolve_space
+from repro.search.strategy import SearchStrategy, build_strategy
+from repro.sim.engine import SimulationOptions
+
+#: Default sampling of declarative specs (matches ``ExperimentSpec``).
+SPEC_DEFAULT_OPTIONS = {"passes_per_gemm": 3, "max_t_steps": 64}
+
+_SPEC_KEYS = {"name", "title", "space", "strategy", "objectives", "quick",
+              "networks", "options", "checkpoint"}
+_STRATEGY_KEYS = {"kind", "seed", "budget", "population", "parents",
+                  "children", "batch_size"}
+
+
+@dataclass(frozen=True)
+class StrategySpec:
+    """The strategy half of a search spec (kind + tuning knobs).
+
+    The default kind is ``exhaustive`` (a bare spec means "sweep the whole
+    space"); the sampling strategies need an explicit ``budget``.
+    """
+
+    kind: str = "exhaustive"
+    seed: int = 2022
+    budget: int | None = None
+    population: int = 8
+    parents: int = 3
+    children: int | None = None
+    batch_size: int = 8
+
+    @staticmethod
+    def from_dict(data: Mapping) -> "StrategySpec":
+        unknown = set(data) - _STRATEGY_KEYS
+        if unknown:
+            raise ValueError(
+                f"unknown strategy keys {sorted(unknown)}; "
+                f"accepted: {sorted(_STRATEGY_KEYS)}"
+            )
+        budget = data.get("budget")
+        children = data.get("children")
+        return StrategySpec(
+            kind=str(data.get("kind", "exhaustive")),
+            seed=int(data.get("seed", 2022)),
+            budget=int(budget) if budget is not None else None,
+            population=int(data.get("population", 8)),
+            parents=int(data.get("parents", 3)),
+            children=int(children) if children is not None else None,
+            batch_size=int(data.get("batch_size", 8)),
+        )
+
+    def to_dict(self) -> dict:
+        payload: dict = {"kind": self.kind, "seed": self.seed}
+        if self.budget is not None:
+            payload["budget"] = self.budget
+        if self.kind == "evolutionary":
+            payload["population"] = self.population
+            payload["parents"] = self.parents
+            if self.children is not None:
+                payload["children"] = self.children
+        if self.kind == "random":
+            payload["batch_size"] = self.batch_size
+        return payload
+
+    def build(self, space: SearchSpace) -> SearchStrategy:
+        return build_strategy(
+            self.kind,
+            space,
+            budget=self.budget,
+            seed=self.seed,
+            population=self.population,
+            parents=self.parents,
+            children=self.children,
+            batch_size=self.batch_size,
+        )
+
+
+@dataclass(frozen=True)
+class SearchSpec:
+    """Declarative description of one guided-search run."""
+
+    space: SearchSpace
+    strategy: StrategySpec = field(default_factory=StrategySpec)
+    objectives: ObjectiveSet | None = None
+    name: str = "search"
+    title: str = ""
+    quick: bool = True
+    networks: tuple[str, ...] | None = None
+    options: SimulationOptions = field(
+        default_factory=lambda: SimulationOptions(**SPEC_DEFAULT_OPTIONS)
+    )
+    checkpoint: str | None = None
+
+    @staticmethod
+    def from_dict(data: Mapping) -> "SearchSpec":
+        unknown = set(data) - _SPEC_KEYS
+        if unknown:
+            raise ValueError(
+                f"unknown search keys {sorted(unknown)}; "
+                f"accepted: {sorted(_SPEC_KEYS)}"
+            )
+        if "space" not in data:
+            raise ValueError("search spec needs a 'space'")
+        space = resolve_space(data["space"])
+        objectives = None
+        if data.get("objectives"):
+            objectives = ObjectiveSet.from_dicts(data["objectives"])
+        networks = data.get("networks")
+        spec = SearchSpec(
+            space=space,
+            strategy=StrategySpec.from_dict(data.get("strategy") or {}),
+            objectives=objectives,
+            name=str(data.get("name", "search")),
+            title=str(data.get("title", "")),
+            quick=bool(data.get("quick", True)),
+            networks=tuple(str(n) for n in networks) if networks else None,
+            options=SimulationOptions.from_dict(
+                dict(data.get("options") or {}), defaults=SPEC_DEFAULT_OPTIONS
+            ),
+            checkpoint=str(data["checkpoint"]) if data.get("checkpoint") else None,
+        )
+        # Fail fast: an empty feasible grid or an unbuildable strategy is a
+        # spec error, not something to discover mid-run.
+        if not any(True for _ in spec.space):
+            raise ValueError(
+                f"search space {spec.space.name!r} has no feasible config "
+                f"({spec.space.describe()})"
+            )
+        spec.build_strategy()
+        spec.resolve_objectives()
+        return spec
+
+    @staticmethod
+    def from_json(text: str) -> "SearchSpec":
+        return SearchSpec.from_dict(json.loads(text))
+
+    @staticmethod
+    def load(path: str | os.PathLike) -> "SearchSpec":
+        """Read a spec from a JSON file (the ``repro search`` input)."""
+        return SearchSpec.from_json(Path(path).read_text())
+
+    @staticmethod
+    def coerce(spec: "SearchSpec | Mapping | str | os.PathLike") -> "SearchSpec":
+        """Accept a spec object, a dict, or a path to a JSON file."""
+        if isinstance(spec, SearchSpec):
+            return spec
+        if isinstance(spec, Mapping):
+            return SearchSpec.from_dict(spec)
+        return SearchSpec.load(spec)
+
+    def to_dict(self) -> dict:
+        payload: dict = {
+            "name": self.name,
+            "title": self.title,
+            "space": self.space.to_dict(),
+            "strategy": self.strategy.to_dict(),
+            "quick": self.quick,
+            "networks": list(self.networks) if self.networks else None,
+            "options": self.options.to_dict(),
+        }
+        if self.objectives is not None:
+            payload["objectives"] = self.objectives.to_dicts()
+        if self.checkpoint is not None:
+            payload["checkpoint"] = self.checkpoint
+        return payload
+
+    def resolve_objectives(self) -> ObjectiveSet:
+        """Explicit objectives, or the paper's default pair for the space."""
+        if self.objectives is not None:
+            return self.objectives
+        return ObjectiveSet.for_category(self.space.default_category())
+
+    def build_strategy(self) -> SearchStrategy:
+        """A fresh strategy instance (single-use; one per run)."""
+        return self.strategy.build(self.space)
+
+    def eval_settings(self, quick: bool | None = None) -> EvalSettings:
+        """The spec's :class:`EvalSettings`; ``quick`` overrides like
+        :meth:`repro.api.ExperimentSpec.eval_settings` (``True`` forces
+        smoke sampling, ``False`` the full suite)."""
+        if quick is None:
+            return EvalSettings(
+                quick=self.quick, options=self.options, networks=self.networks
+            )
+        if quick:
+            options = SimulationOptions.from_dict(
+                {"passes_per_gemm": 1, "max_t_steps": 16},
+                defaults=self.options.to_dict(),
+            )
+            return EvalSettings(quick=True, options=options, networks=self.networks)
+        return EvalSettings(quick=False, options=self.options, networks=self.networks)

@@ -79,6 +79,34 @@ class SimulationOptions:
         if self.max_t_steps < 4:
             raise ValueError("max_t_steps must be >= 4")
 
+    def to_dict(self) -> dict:
+        """JSON-serializable form (the spec files' ``options`` shape)."""
+        return {
+            "passes_per_gemm": self.passes_per_gemm,
+            "max_t_steps": self.max_t_steps,
+            "seed": self.seed,
+            "pipeline_drain": self.pipeline_drain,
+            "include_stalls": self.include_stalls,
+            "include_dram": self.include_dram,
+        }
+
+    @staticmethod
+    def from_dict(data: dict, defaults: dict | None = None) -> "SimulationOptions":
+        """Build options from a mapping, rejecting unknown keys.
+
+        ``defaults`` (same key set) fills in anything the mapping omits --
+        what the declarative spec loaders use for their lighter default
+        sampling.
+        """
+        known = set(SimulationOptions().to_dict())
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(
+                f"unknown simulation options {sorted(unknown)}; "
+                f"accepted: {sorted(known)}"
+            )
+        return SimulationOptions(**{**(defaults or {}), **data})
+
 
 @dataclass(frozen=True)
 class TileResult:

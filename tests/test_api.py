@@ -9,8 +9,11 @@ The load-bearing guarantees:
   the engine after a call;
 * `session.evaluate` is bitwise-identical between the serial and the
   parallel path for a mixed design list (config + Griffin + baseline);
-* the `evaluate_arch` / `evaluate_griffin` deprecation shims return
-  results identical to a direct `Session.evaluate` call.
+* `INHERIT` sessions use whatever cache is installed engine-wide (the
+  embedding mode) and never install or remove state themselves.
+
+(The `evaluate_arch` / `evaluate_griffin` shims and their identity tests
+were removed in v2.0 at the end of their deprecation cycle.)
 """
 
 import json
@@ -18,9 +21,8 @@ from pathlib import Path
 
 import pytest
 
-from repro.api import INHERIT, ExperimentSpec, Session, default_session
+from repro.api import INHERIT, ExperimentSpec, Session
 from repro.baselines import baseline
-from repro.baselines.bittactical import TCL_B, TCL_CALIBRATION
 from repro.config import (
     GRIFFIN,
     SPARSE_A_STAR,
@@ -35,9 +37,7 @@ from repro.dse.evaluate import (
     EvalSettings,
     GriffinDesign,
     as_design,
-    evaluate_arch,
     evaluate_design,
-    evaluate_griffin,
     parse_design,
 )
 from repro.runtime.cache import PersistentLayerCache
@@ -196,50 +196,30 @@ class TestSessionEvaluate:
             Session(use_cache="sometimes")
 
 
-class TestShims:
-    def test_evaluate_arch_identical_to_session(self, cold_engine):
-        with pytest.deprecated_call():
-            legacy = evaluate_arch(SPARSE_B_STAR, CATS, SETTINGS)
-        direct = Session(use_cache=False).evaluate(
-            [SPARSE_B_STAR], CATS, SETTINGS
-        ).evaluations[0]
-        assert legacy == direct
-
-    def test_evaluate_arch_calibration_and_overrides(self, cold_engine):
-        with pytest.deprecated_call():
-            legacy = evaluate_arch(
-                TCL_B, CATS, SETTINGS, calibration=TCL_CALIBRATION,
-                power_mw=123.0, area_um2=456.0,
-            )
-        design = ConfigDesign(
-            TCL_B, calibration=TCL_CALIBRATION, power_mw=123.0, area_um2=456.0
-        )
-        direct = Session(use_cache=False).evaluate([design], CATS, SETTINGS)
-        assert legacy == direct.evaluations[0]
-        assert legacy.point(ModelCategory.B).power_mw == 123.0
-        assert legacy.point(ModelCategory.B).area_um2 == 456.0
-
-    def test_evaluate_griffin_identical_to_session(self, cold_engine):
-        with pytest.deprecated_call():
-            legacy = evaluate_griffin(GRIFFIN, CATS, SETTINGS)
-        direct = Session(use_cache=False).evaluate(["Griffin"], CATS, SETTINGS)
-        assert legacy == direct.evaluations[0]
-
-    def test_shims_inherit_installed_cache(self, cold_engine, tmp_path):
-        """The default session must use whatever cache is installed --
-        the legacy functions' exact pre-session semantics."""
+class TestInheritMode:
+    def test_inherit_session_uses_installed_cache(self, cold_engine, tmp_path):
+        """An INHERIT session evaluates through whatever cache is installed
+        engine-wide, without installing or removing anything itself."""
         installed = PersistentLayerCache(tmp_path)
         engine.set_persistent_cache(installed)
-        with pytest.deprecated_call():
-            evaluate_arch(sparse_b(2, 0, 0), (ModelCategory.B,), SETTINGS)
+        session = Session(use_cache=INHERIT)
+        assert session.cache is None and session.cache_dir is None
+        session.evaluate([sparse_b(2, 0, 0)], (ModelCategory.B,), SETTINGS)
         assert installed.stats.puts > 0
         assert engine.get_persistent_cache() is installed
+        engine.set_persistent_cache(None)
 
-    def test_default_session_is_inherit_mode_singleton(self):
-        session = default_session()
-        assert session is default_session()
-        assert session.cache is None and session._inherit
-        assert Session(use_cache=INHERIT).cache_dir is None
+    def test_shims_are_gone(self):
+        """The v2.0 removal: the deprecated per-family entry points no
+        longer exist anywhere in the public API."""
+        import repro
+        import repro.dse
+        import repro.dse.evaluate as evaluate_module
+
+        for namespace in (repro, repro.dse, evaluate_module):
+            assert not hasattr(namespace, "evaluate_arch")
+            assert not hasattr(namespace, "evaluate_griffin")
+        assert not hasattr(repro, "default_session")
 
 
 class TestExperimentSpec:
@@ -309,16 +289,15 @@ class TestExperimentSpec:
         assert payload["experiment"] == "mini"
         assert payload["categories"] == ["DNN.B"]
 
-        # Identical result through the shim path, served from the session's
-        # cache (the shim inherits it inside the ``with session:`` block).
+        # Identical result through the raw evaluation path, served from the
+        # session's cache (installed engine-wide by ``with session:``).
         hits_before = session.cache.stats.hits
         with session:
             engine.clear_memo_cache()
-            with pytest.deprecated_call():
-                legacy = evaluate_arch(
-                    sparse_b(2, 0, 0), (ModelCategory.B,), spec.eval_settings()
-                )
-        assert legacy == result.evaluations[1]
+            direct = evaluate_design(
+                sparse_b(2, 0, 0), (ModelCategory.B,), spec.eval_settings()
+            )
+        assert direct == result.evaluations[1]
         assert session.cache.stats.hits > hits_before
 
     def test_run_accepts_dict_and_path(self, cold_engine, tmp_path):

@@ -205,3 +205,102 @@ class TestSweepCommand:
         )
         assert code == 0
         assert "persistent cache: disabled" in capsys.readouterr().out
+
+
+SEARCH_SPEC = {
+    "name": "cli-mini",
+    "space": {"name": "b-mini", "db1": [2, 3], "db3": [0, 1],
+              "max_amux_fanin": 8},
+    "strategy": {"kind": "evolutionary", "seed": 3, "budget": 5,
+                 "population": 3, "parents": 2, "children": 2},
+    "networks": ["BERT"],
+    "options": {"passes_per_gemm": 1, "max_t_steps": 16, "seed": 7},
+}
+
+
+class TestSearchCommand:
+    def test_needs_spec_or_space(self, capsys):
+        assert main(["search"]) == 2
+        assert "--space" in capsys.readouterr().err
+
+    def test_flag_strategy_needs_budget(self, capsys):
+        assert main(["search", "--space", "b"]) == 2
+        assert "budget" in capsys.readouterr().err
+
+    def test_spec_search_with_checkpoint_resume_and_json(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        from repro.sim import engine
+
+        monkeypatch.setattr(engine, "_persistent_cache", None)
+        engine.clear_memo_cache()
+        spec_path = tmp_path / "search.json"
+        spec_path.write_text(json.dumps(SEARCH_SPEC))
+        checkpoint = tmp_path / "front.json"
+        argv = [
+            "search", str(spec_path), "--cache-dir", str(tmp_path / "cache"),
+            "--checkpoint", str(checkpoint),
+        ]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert "optimal point" in cold
+        assert "evaluated 5 of 8 feasible configs" in cold
+        assert checkpoint.is_file()
+
+        # Resume: everything replayed from the checkpoint, same optimum.
+        engine.clear_memo_cache()
+        assert main(argv + ["--resume", "--json", str(tmp_path / "out.json")]) == 0
+        resumed = capsys.readouterr().out
+        assert "in 0 batches" in resumed
+        assert resumed.split("optimal point")[1].splitlines()[0] == \
+            cold.split("optimal point")[1].splitlines()[0]
+
+        payload = json.loads((tmp_path / "out.json").read_text())
+        assert payload["search"] == "cli-mini"
+        assert payload["evaluations"] == 5 and payload["grid_size"] == 8
+        assert payload["optimal"]["label"] == \
+            cold.split("optimal point")[1].splitlines()[0].split(": ")[1]
+
+    def test_strategy_override_keeps_spec_tuning(self, capsys, tmp_path,
+                                                 monkeypatch):
+        """--strategy random must inherit the spec's budget/seed, not
+        reset them to flag defaults."""
+        from repro.sim import engine
+
+        monkeypatch.setattr(engine, "_persistent_cache", None)
+        engine.clear_memo_cache()
+        spec_path = tmp_path / "search.json"
+        spec_path.write_text(json.dumps(SEARCH_SPEC))
+        code = main(
+            ["search", str(spec_path), "--strategy", "random",
+             "--cache-dir", str(tmp_path / "cache")]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "random sample (seed 3)" in out        # spec's seed survives
+        assert "evaluated 5 of 8 feasible configs" in out  # spec's budget too
+
+    def test_resume_without_checkpoint_is_an_error(self, capsys, tmp_path):
+        spec_path = tmp_path / "search.json"
+        spec_path.write_text(json.dumps(SEARCH_SPEC))
+        assert main(["search", str(spec_path), "--resume",
+                     "--cache-dir", str(tmp_path / "cache")]) == 2
+        assert "checkpoint" in capsys.readouterr().err
+
+    def test_exhaustive_override_matches_sweep_selection(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        from repro.sim import engine
+
+        monkeypatch.setattr(engine, "_persistent_cache", None)
+        engine.clear_memo_cache()
+        spec_path = tmp_path / "search.json"
+        spec_path.write_text(json.dumps(SEARCH_SPEC))
+        code = main(
+            ["search", str(spec_path), "--strategy", "exhaustive",
+             "--cache-dir", str(tmp_path / "cache")]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "evaluated 8 of 8 feasible configs (100.0%)" in out
+        assert "optimal point" in out

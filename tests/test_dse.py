@@ -7,8 +7,8 @@ from repro.config import ModelCategory, sparse_b
 from repro.core.metrics import EfficiencyPoint
 from repro.core.overhead import overhead_of
 from repro.dse.evaluate import DesignEvaluation, EvalSettings
-from repro.dse.explorer import sparse_a_space, sparse_ab_space, sparse_b_space
-from repro.dse.pareto import pareto_front
+from repro.dse.explorer import design_space, space_categories, sparse_a_space, sparse_ab_space, sparse_b_space
+from repro.dse.pareto import dominates, pareto_front, pareto_ranks
 from repro.dse.report import format_table, select_optimal
 
 
@@ -45,9 +45,11 @@ class TestExplorer:
 
 
 class TestPareto:
+    XY = [lambda p: p[0], lambda p: p[1]]
+
     def test_simple_front(self):
         pts = [(1, 5), (2, 4), (3, 3), (2, 2), (0, 6)]
-        front = pareto_front(pts, [lambda p: p[0], lambda p: p[1]])
+        front = pareto_front(pts, self.XY)
         assert set(front) == {(1, 5), (2, 4), (3, 3), (0, 6)}
 
     def test_single_objective_is_max(self):
@@ -56,6 +58,75 @@ class TestPareto:
 
     def test_empty(self):
         assert pareto_front([], [lambda x: x]) == []
+
+    def test_duplicate_front_points_all_kept_by_default(self):
+        # Identical score vectors never dominate each other, so every copy
+        # of a duplicated front point survives, in input order.
+        pts = [(2, 2), (1, 1), (2, 2), (2, 2)]
+        assert pareto_front(pts, self.XY) == [(2, 2), (2, 2), (2, 2)]
+
+    def test_dedupe_keeps_first_of_each_tied_score(self):
+        labelled = [("a", 2, 2), ("b", 1, 1), ("c", 2, 2), ("d", 0, 3)]
+        objs = [lambda p: p[1], lambda p: p[2]]
+        front = pareto_front(labelled, objs, dedupe=True)
+        assert front == [("a", 2, 2), ("d", 0, 3)]
+
+    def test_all_identical_items(self):
+        pts = [(1, 1)] * 4
+        assert pareto_front(pts, self.XY) == pts
+        assert pareto_front(pts, self.XY, dedupe=True) == [(1, 1)]
+
+    def test_partial_tie_one_equal_coordinate(self):
+        # (3, 5) dominates (3, 4): equal on x, strictly better on y.
+        assert pareto_front([(3, 5), (3, 4)], self.XY) == [(3, 5)]
+
+    def test_single_item_and_no_objectives(self):
+        assert pareto_front([(1, 2)], self.XY) == [(1, 2)]
+        # With no objectives nothing can dominate: everything is a tie.
+        assert pareto_front([1, 2, 3], []) == [1, 2, 3]
+        assert pareto_front([1, 2, 3], [], dedupe=True) == [1]
+
+
+class TestDominates:
+    def test_strict_and_tie_and_incomparable(self):
+        assert dominates((2, 2), (1, 2))
+        assert not dominates((1, 2), (2, 2))
+        assert not dominates((2, 2), (2, 2))      # ties dominate nothing
+        assert not dominates((3, 1), (1, 3))      # incomparable
+        assert not dominates((), ())              # empty vectors
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="length"):
+            dominates((1, 2), (1, 2, 3))
+
+
+class TestParetoRanks:
+    def test_layered_ranks(self):
+        scores = [(3, 3), (2, 2), (1, 1), (0, 4)]
+        assert pareto_ranks(scores) == [0, 1, 2, 0]
+
+    def test_ties_share_a_rank(self):
+        assert pareto_ranks([(2, 2), (2, 2), (1, 1)]) == [0, 0, 1]
+
+    def test_empty(self):
+        assert pareto_ranks([]) == []
+
+    def test_every_rank_contiguous_from_zero(self):
+        scores = [(i % 4, (7 - i) % 5) for i in range(20)]
+        ranks = pareto_ranks(scores)
+        assert set(ranks) == set(range(max(ranks) + 1))
+
+
+class TestDesignSpaceLookup:
+    def test_unknown_space_lists_names_and_labels(self):
+        with pytest.raises(ValueError) as err:
+            design_space("c")
+        message = str(err.value)
+        for name in ("'a'", "'b'", "'ab'"):
+            assert name in message
+        assert "Fig. 5 Sparse.B" in message
+        with pytest.raises(ValueError, match="Fig. 6 Sparse.A"):
+            space_categories("nope")
 
 
 @settings(max_examples=30, deadline=None)

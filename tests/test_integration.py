@@ -11,7 +11,7 @@ from repro.config import (
     sparse_b,
 )
 from repro.core.metrics import effective_tops_per_watt
-from repro.dse.evaluate import EvalSettings, category_speedup, evaluate_arch, evaluate_griffin
+from repro.dse.evaluate import EvalSettings, category_speedup, evaluate_design
 from repro.hw.cost import cost_of, gated_power_mw, griffin_cost
 from repro.sim.engine import SimulationOptions
 
@@ -37,15 +37,15 @@ class TestEndToEndClaims:
         assert deep > shallow
 
     def test_griffin_evaluation_complete(self):
-        ev = evaluate_griffin(GRIFFIN, tuple(ModelCategory), FAST)
+        ev = evaluate_design(GRIFFIN, tuple(ModelCategory), FAST)
         assert {pt.category for pt in ev.points} == {c.value for c in ModelCategory}
         assert ev.speedup(ModelCategory.DENSE) == pytest.approx(1.0)
         assert ev.speedup(ModelCategory.B) > 1.5
         assert ev.speedup(ModelCategory.AB) >= ev.speedup(ModelCategory.A)
 
     def test_griffin_beats_plain_dual_power_efficiency_on_b(self):
-        griffin = evaluate_griffin(GRIFFIN, (ModelCategory.B,), FAST)
-        dual = evaluate_arch(SPARSE_AB_STAR, (ModelCategory.B,), FAST)
+        griffin = evaluate_design(GRIFFIN, (ModelCategory.B,), FAST)
+        dual = evaluate_design(SPARSE_AB_STAR, (ModelCategory.B,), FAST)
         assert (
             griffin.point(ModelCategory.B).tops_per_watt
             > dual.point(ModelCategory.B).tops_per_watt
@@ -92,6 +92,6 @@ class TestGatedPower:
 
 class TestDeterminismAcrossStack:
     def test_full_evaluation_is_reproducible(self):
-        a = evaluate_arch(SPARSE_B_STAR, (ModelCategory.B,), FAST)
-        b = evaluate_arch(SPARSE_B_STAR, (ModelCategory.B,), FAST)
+        a = evaluate_design(SPARSE_B_STAR, (ModelCategory.B,), FAST)
+        b = evaluate_design(SPARSE_B_STAR, (ModelCategory.B,), FAST)
         assert a.point(ModelCategory.B).speedup == b.point(ModelCategory.B).speedup

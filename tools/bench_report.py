@@ -1,0 +1,173 @@
+#!/usr/bin/env python
+"""Machine-readable benchmark report: wall-time + cache stats per module.
+
+Runs every ``benchmarks/test_*.py`` module in its own pytest process and
+writes ``BENCH_results.json`` -- one record per module with its wall time,
+pass/fail status, and the unified two-tier cache counters of its shared
+session (dumped by the ``REPRO_BENCH_STATS_JSON`` hook in
+``benchmarks/conftest.py``).  All modules share one persistent cache
+directory (``REPRO_BENCH_CACHE_DIR``), so the per-module hit rates record
+the warm-up trajectory: early modules simulate, later ones read.
+
+This is the perf-trajectory artifact CI uploads on every run; diffing two
+reports shows where evaluation time went.  Run from the repo root::
+
+    python tools/bench_report.py                      # all modules
+    python tools/bench_report.py --module table6 --module fig5
+    python tools/bench_report.py --output /tmp/BENCH_results.json
+
+Exit status is 0 when every selected module passed, 1 otherwise (the
+report is written either way).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCHMARKS = REPO_ROOT / "benchmarks"
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_results.json"
+
+
+def discover(filters: list[str]) -> list[Path]:
+    modules = sorted(BENCHMARKS.glob("test_*.py"))
+    if filters:
+        modules = [
+            path
+            for path in modules
+            if any(token.lower() in path.stem.lower() for token in filters)
+        ]
+    return modules
+
+
+def run_module(path: Path, cache_dir: str, timeout: float) -> dict:
+    """One pytest process for one module; returns its report record."""
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as handle:
+        stats_path = handle.name
+    env = dict(
+        os.environ,
+        REPRO_BENCH_CACHE_DIR=cache_dir,
+        REPRO_BENCH_STATS_JSON=stats_path,
+        PYTHONPATH=os.pathsep.join(
+            [str(REPO_ROOT / "src"), os.environ.get("PYTHONPATH", "")]
+        ).rstrip(os.pathsep),
+    )
+    started = time.perf_counter()
+    try:
+        proc = subprocess.run(
+            [sys.executable, "-m", "pytest", str(path), "-q", "--no-header",
+             "-p", "no:cacheprovider"],
+            cwd=REPO_ROOT,
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=timeout,
+        )
+        returncode = proc.returncode
+        tail = "\n".join(proc.stdout.strip().splitlines()[-3:])
+    except subprocess.TimeoutExpired:
+        returncode = -1
+        tail = f"timed out after {timeout:.0f}s"
+    wall_s = time.perf_counter() - started
+
+    cache: dict | None = None
+    try:
+        with open(stats_path) as handle:
+            cache = json.load(handle)
+    except (OSError, json.JSONDecodeError):
+        pass  # module failed before the session fixture tore down
+    finally:
+        try:
+            os.unlink(stats_path)
+        except OSError:
+            pass
+
+    return {
+        "module": path.stem,
+        "passed": returncode == 0,
+        "returncode": returncode,
+        "wall_s": round(wall_s, 3),
+        "cache": cache,
+        "summary": tail,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="emit BENCH_results.json (wall time + cache stats "
+        "per benchmark module)"
+    )
+    parser.add_argument(
+        "--module", action="append", default=[],
+        help="only modules whose name contains this token (repeatable)",
+    )
+    parser.add_argument(
+        "--output", default=str(DEFAULT_OUTPUT),
+        help=f"report path (default: {DEFAULT_OUTPUT.name} in the repo root)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None,
+        help="shared persistent-cache dir (default: a fresh temp dir, so "
+        "the report records a cold-to-warm trajectory)",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=1800.0,
+        help="per-module timeout in seconds",
+    )
+    args = parser.parse_args(argv)
+
+    modules = discover(args.module)
+    if not modules:
+        print(f"error: no benchmark module matches {args.module}", file=sys.stderr)
+        return 1
+
+    cache_ctx: tempfile.TemporaryDirectory | None = None
+    if args.cache_dir is not None:
+        cache_dir = args.cache_dir
+    else:
+        cache_ctx = tempfile.TemporaryDirectory(prefix="repro-bench-cache-")
+        cache_dir = cache_ctx.name
+
+    records = []
+    try:
+        for path in modules:
+            record = run_module(path, cache_dir, args.timeout)
+            status = "ok " if record["passed"] else "FAIL"
+            hits = (record["cache"] or {}).get("hits", "?")
+            misses = (record["cache"] or {}).get("misses", "?")
+            print(
+                f"{status} {record['module']:40s} {record['wall_s']:8.2f}s  "
+                f"cache {hits}h/{misses}m"
+            )
+            records.append(record)
+    finally:
+        if cache_ctx is not None:
+            cache_ctx.cleanup()
+
+    report = {
+        "total_wall_s": round(sum(r["wall_s"] for r in records), 3),
+        "modules_passed": sum(r["passed"] for r in records),
+        "modules_failed": sum(not r["passed"] for r in records),
+        "full_eval": os.environ.get("REPRO_FULL_EVAL", "0") == "1",
+        "python": sys.version.split()[0],
+        "results": records,
+    }
+    with open(args.output, "w") as handle:
+        json.dump(report, handle, indent=2)
+    print(
+        f"\nwrote {args.output}: {report['modules_passed']} passed, "
+        f"{report['modules_failed']} failed, "
+        f"{report['total_wall_s']:.1f}s total"
+    )
+    return 0 if report["modules_failed"] == 0 else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
