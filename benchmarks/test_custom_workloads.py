@@ -1,0 +1,59 @@
+"""Custom workloads: the example WorkloadSpec JSON files through the session.
+
+The first-class Workload API's end-to-end proof at benchmark scale: every
+spec under ``examples/workloads/`` builds, fingerprints stably, and
+evaluates through the same shared :class:`repro.api.Session` (and
+persistent cache) as the Table IV figures -- sparse designs must beat the
+dense baseline on the sparse categories exactly as they do on the presets.
+"""
+
+from pathlib import Path
+
+from repro.config import ModelCategory
+from repro.dse.report import format_table
+from repro.workloads.registry import parse_workload
+from conftest import show
+
+EXAMPLE_SPECS = sorted(
+    (Path(__file__).resolve().parent.parent / "examples" / "workloads").glob("*.json")
+)
+
+DESIGNS = ("Baseline", "Sparse.B*", "Griffin")
+
+
+def test_custom_workload_suite(benchmark, session, settings):
+    assert EXAMPLE_SPECS, "no example WorkloadSpec files found"
+    workloads = [parse_workload(str(path)) for path in EXAMPLE_SPECS]
+    for workload, path in zip(workloads, EXAMPLE_SPECS):
+        # The fingerprint is a pure function of the spec file.
+        assert parse_workload(str(path)).fingerprint == workload.fingerprint
+
+    def build():
+        rows = []
+        for workload in workloads:
+            outcome = session.evaluate(
+                DESIGNS, (ModelCategory.DENSE, ModelCategory.B),
+                settings, networks=(workload,),
+            )
+            for evaluation in outcome.evaluations:
+                rows.append(
+                    {
+                        "Workload": workload.name,
+                        "Config": evaluation.label,
+                        "dense speedup": evaluation.speedup(ModelCategory.DENSE),
+                        "B speedup": evaluation.speedup(ModelCategory.B),
+                        "B TOPS/W": evaluation.point(ModelCategory.B).tops_per_watt,
+                    }
+                )
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    by_workload: dict[str, dict[str, dict]] = {}
+    for row in rows:
+        by_workload.setdefault(row["Workload"], {})[row["Config"]] = row
+    for name, configs in by_workload.items():
+        assert configs["Baseline"]["B speedup"] == 1.0
+        # Weight borrowing must exploit the custom pruning schedules.
+        assert configs["Sparse.B*"]["B speedup"] > 1.05, name
+        assert configs["Griffin"]["B speedup"] > 1.05, name
+    show(format_table(rows, title="Custom workloads (examples/workloads/*.json)"))

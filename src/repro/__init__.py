@@ -71,9 +71,25 @@ from repro.sim.engine import (
     simulate_tile,
     simulation_key,
 )
-from repro.workloads.registry import BENCHMARKS, benchmark, benchmark_names
+from repro.workloads.models import Network, network_fingerprint
+from repro.workloads.registry import (
+    BENCHMARKS,
+    WORKLOADS,
+    Workload,
+    WorkloadRegistry,
+    benchmark,
+    benchmark_names,
+    parse_workload,
+)
+from repro.workloads.spec import (
+    AnalyticalSparsity,
+    ExplicitSparsity,
+    UniformSparsity,
+    WorkloadSpec,
+    register_sparsity_profile,
+)
 
-__version__ = "2.0.0"
+__version__ = "2.1.0"
 
 __all__ = [
     "ArchConfig",
@@ -129,6 +145,17 @@ __all__ = [
     "SweepOutcome",
     "SweepRunner",
     "BENCHMARKS",
+    "WORKLOADS",
+    "Network",
+    "Workload",
+    "WorkloadRegistry",
+    "WorkloadSpec",
+    "AnalyticalSparsity",
+    "UniformSparsity",
+    "ExplicitSparsity",
+    "register_sparsity_profile",
+    "network_fingerprint",
+    "parse_workload",
     "benchmark",
     "benchmark_names",
     "__version__",

@@ -58,7 +58,7 @@ from __future__ import annotations
 import json
 import os
 from contextlib import contextmanager
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Iterator, Mapping, Sequence
 
@@ -86,7 +86,12 @@ from repro.search.strategy import ExhaustiveSearch, SearchStrategy
 from repro.sim import engine
 from repro.sim.engine import NetworkSimResult, SimulationOptions, simulate_network
 from repro.workloads.models import Network
-from repro.workloads.registry import benchmark
+from repro.workloads.registry import (
+    Workload,
+    WorkloadLike,
+    anchor_workload_tokens,
+    parse_workload,
+)
 
 #: ``use_cache`` mode for sessions that neither install nor remove the
 #: globally installed cache -- for embedding the session API inside an
@@ -110,7 +115,12 @@ class ExperimentSpec:
     them.  ``categories`` default to the space's (sparse, dense) pair, or
     to all four Table I categories for a plain design list.  ``quick``
     picks the three-benchmark suite (the default) versus the full Table IV
-    six; ``networks`` restricts the suite explicitly.
+    six; ``networks`` replaces the suite explicitly -- each entry is any
+    workload token :func:`~repro.workloads.registry.parse_workload`
+    accepts: a preset name (``"BERT"``), a ``name:override`` derivation
+    (``"BERT:weight_sparsity=0.9"``), or a path to a declarative
+    WorkloadSpec JSON file (resolved relative to the spec file when loaded
+    with :meth:`load`; see ``docs/workloads.md``).
     """
 
     name: str = "experiment"
@@ -148,9 +158,11 @@ class ExperimentSpec:
         )
         if not spec.designs and spec.space is None:
             raise ValueError("experiment spec needs 'designs' and/or 'space'")
-        # Fail fast on bad design/category/space names, before simulating.
+        # Fail fast on bad design/category/space/workload names, before
+        # simulating.
         spec.resolve_designs()
         spec.resolve_categories()
+        spec.resolve_networks()
         return spec
 
     @staticmethod
@@ -159,8 +171,19 @@ class ExperimentSpec:
 
     @staticmethod
     def load(path: str | os.PathLike) -> "ExperimentSpec":
-        """Read a spec from a JSON file (the ``repro run`` input)."""
-        return ExperimentSpec.from_json(Path(path).read_text())
+        """Read a spec from a JSON file (the ``repro run`` input).
+
+        Relative WorkloadSpec paths in ``networks`` are resolved against
+        the spec file's directory, so a spec can name a workload JSON that
+        lives next to it regardless of the working directory.
+        """
+        data = json.loads(Path(path).read_text())
+        if isinstance(data, Mapping) and data.get("networks"):
+            data = dict(data)
+            data["networks"] = anchor_workload_tokens(
+                data["networks"], Path(path).parent
+            )
+        return ExperimentSpec.from_dict(data)
 
     @staticmethod
     def coerce(
@@ -201,6 +224,12 @@ class ExperimentSpec:
             return space_categories(self.space)
         return (ModelCategory.DENSE, ModelCategory.B, ModelCategory.A,
                 ModelCategory.AB)
+
+    def resolve_networks(self) -> tuple[Workload, ...] | None:
+        """The evaluation suite as resolved workloads (``None`` = default)."""
+        if self.networks is None:
+            return None
+        return tuple(parse_workload(token) for token in self.networks)
 
     def eval_settings(self, quick: bool | None = None) -> EvalSettings:
         """The spec's :class:`EvalSettings`.
@@ -453,6 +482,7 @@ class Session:
         designs: Sequence[DesignLike],
         categories: Sequence[ModelCategory],
         settings: EvalSettings | None = None,
+        networks: Sequence[WorkloadLike] | None = None,
     ) -> SweepOutcome:
         """Evaluate every design on every category, order-preserving.
 
@@ -460,10 +490,20 @@ class Session:
         through :class:`SweepRunner`; results are bitwise-identical to the
         serial loop either way, and all paths share the session's
         persistent cache directory.
+
+        ``networks`` replaces the evaluation suite for this call: any mix
+        of workload tokens (preset names, ``name:override`` derivations,
+        WorkloadSpec JSON paths) and
+        :class:`~repro.workloads.registry.Workload` objects.  Pass workload
+        *objects* (not bare registered names) for programmatically built
+        networks in parallel runs -- worker processes resolve string
+        tokens themselves and do not see this process's registry.
         """
         resolved = tuple(as_design(design) for design in designs)
         categories = tuple(categories)
         settings = settings or self.settings
+        if networks is not None:
+            settings = replace(settings, networks=tuple(networks))
         if not resolved:
             return SweepOutcome((), CacheStats(), self.workers, 0)
         if self.workers <= 1 or self._inherit:
@@ -510,17 +550,21 @@ class Session:
 
     def simulate(
         self,
-        network: Network | str,
+        network: WorkloadLike,
         design: DesignLike,
         category: ModelCategory,
         options: SimulationOptions | None = None,
     ) -> NetworkSimResult:
         """Cycle-simulate one network on one design, through the cache.
 
-        ``network`` may be a benchmark name or a :class:`Network`; the
-        design's category-specific configuration is used (Griffin morphs).
+        ``network`` is any workload token
+        (:func:`~repro.workloads.registry.parse_workload`): a preset name,
+        a ``name:override`` derivation, a WorkloadSpec JSON path, or a
+        :class:`~repro.workloads.registry.Workload` / :class:`Network`
+        object; the design's category-specific configuration is used
+        (Griffin morphs).
         """
-        net = benchmark(network).network if isinstance(network, str) else network
+        net = network if isinstance(network, Network) else parse_workload(network).network
         config = as_design(design).config_for(category)
         before = self._snapshot()
         with self._scoped():

@@ -1,38 +1,49 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Six subcommands cover the everyday questions, all driving the same
+Seven subcommands cover the everyday questions, all driving the same
 session API (:mod:`repro.api`) so every command shares the parallel
 runner and the two-tier persistent result cache (whole networks, then
 layers -- see ``docs/caching.md``):
 
-* ``simulate`` -- run one design on one benchmark and category;
-* ``cost``     -- print the Table VII-style breakdown of a design;
-* ``compare``  -- effective-efficiency table of several designs on one
+* ``simulate``  -- run one design on one workload and category;
+* ``cost``      -- print the Table VII-style breakdown of a design;
+* ``compare``   -- effective-efficiency table of several designs on one
   category (a one-line slice of Fig. 8);
-* ``sweep``    -- evaluate a whole design space (Figs. 5-7) in parallel
+* ``sweep``     -- evaluate a whole design space (Figs. 5-7) in parallel
   worker processes and print a figure-ready table plus the starred
   optimal point;
-* ``run``      -- execute a declarative experiment spec (JSON), e.g. the
+* ``run``       -- execute a declarative experiment spec (JSON), e.g. the
   checked-in Fig. 8 overall comparison;
-* ``search``   -- guided design-space search (:mod:`repro.search`):
+* ``search``    -- guided design-space search (:mod:`repro.search`):
   exhaustive / random / evolutionary strategies over a declarative
   constrained space, with a Pareto archive and checkpoint/resume (see
-  ``docs/search.md``).
+  ``docs/search.md``);
+* ``workloads`` -- list the workload registry, validate declarative
+  WorkloadSpec JSON files, and print content fingerprints (see
+  ``docs/workloads.md``).
 
 Designs parse uniformly everywhere (:func:`repro.dse.evaluate.parse_design`):
 borrowing notation like ``"B(4,0,1,on)"``, ``Dense``, ``Griffin``, the
 starred Table VI points (``"Sparse.B*"``), and every Table V baseline name
 (``SparTen``, ``TensorDash``, ``BitTactical``, ...), all case-insensitive.
+Workloads parse just as uniformly
+(:func:`repro.workloads.registry.parse_workload`): every ``--network`` flag
+takes a Table IV preset name (``ResNet50``), a ``name:override`` derivation
+(``"BERT:weight_sparsity=0.9"``), or a path to a WorkloadSpec JSON file.
 
 Examples::
 
     python -m repro simulate --arch Griffin --network ResNet50 --category DNN.B
+    python -m repro simulate --arch Griffin --network examples/workloads/tinycnn.json
     python -m repro cost --arch SparTen
     python -m repro compare --category DNN.B --arch Dense --arch "B(4,0,1,on)" --arch Griffin
     python -m repro sweep --space b --workers 4
     python -m repro run examples/experiments/fig8.json --workers 4
     python -m repro search examples/experiments/search_b.json --workers 4
     python -m repro search --space b --strategy evolutionary --budget 10 --seed 14
+    python -m repro workloads list
+    python -m repro workloads validate examples/workloads/*.json
+    python -m repro workloads fingerprint ResNet50 "BERT:weight_sparsity=0.9"
 """
 
 from __future__ import annotations
@@ -53,7 +64,8 @@ from repro.search.space import PAPER_SPACE_NAMES, resolve_space
 from repro.search.spec import SearchSpec, StrategySpec
 from repro.search.strategy import STRATEGY_KINDS
 from repro.sim.engine import SimulationOptions
-from repro.workloads.registry import benchmark_names
+from repro.workloads.registry import WORKLOADS, benchmark_names, parse_workload
+from repro.workloads.spec import WorkloadSpec
 
 
 def _category(text: str) -> ModelCategory:
@@ -291,6 +303,71 @@ def cmd_search(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_workloads_list(args: argparse.Namespace) -> int:
+    records = [workload.describe() for workload in WORKLOADS]
+    rows = [
+        {
+            "Workload": record["name"],
+            "Layers": record["layers"],
+            "MACs": f"{record['macs'] / 1e9:.2f}G",
+            "W-sparsity": f"{record['weight_sparsity']:.0%}",
+            "A-sparsity": f"{record['act_sparsity']:.0%}",
+            "Fingerprint": record["fingerprint"][:12],
+        }
+        for record in records
+    ]
+    print(format_table(rows, title=f"workload registry ({len(rows)} entries)"))
+    if args.json_path:
+        with open(args.json_path, "w") as handle:
+            json.dump(records, handle, indent=2)
+        print(f"wrote {args.json_path}")
+    return 0
+
+
+def cmd_workloads_validate(args: argparse.Namespace) -> int:
+    """Validate WorkloadSpec JSON files: parse, round-trip, build, fingerprint."""
+    failures = 0
+    for path in args.paths:
+        try:
+            spec = WorkloadSpec.load(path)
+            round_tripped = WorkloadSpec.from_dict(spec.to_dict())
+            if round_tripped != spec:
+                raise ValueError(
+                    "spec does not round-trip through to_dict/from_dict"
+                )
+            workload = spec.build()
+            fingerprint = workload.fingerprint
+            if spec.build().fingerprint != fingerprint:
+                raise ValueError("fingerprint is not a pure function of the spec")
+        except (ValueError, OSError) as exc:
+            failures += 1
+            print(f"FAIL  {path}: {exc}", file=sys.stderr)
+            continue
+        network = workload.network
+        print(
+            f"ok    {path}: {workload.name} ({len(network.layers)} layers, "
+            f"{network.macs / 1e9:.2f}G MACs, "
+            f"W {workload.weight_sparsity:.0%} / A {workload.act_sparsity:.0%}) "
+            f"fingerprint {fingerprint[:12]}"
+        )
+    if failures:
+        print(f"{failures} of {len(args.paths)} spec(s) failed", file=sys.stderr)
+        return 2
+    print(f"all {len(args.paths)} spec(s) valid")
+    return 0
+
+
+def cmd_workloads_fingerprint(args: argparse.Namespace) -> int:
+    for token in args.tokens:
+        workload = parse_workload(token)
+        print(f"{workload.fingerprint}  {workload.name}")
+    return 0
+
+
+def cmd_workloads(args: argparse.Namespace) -> int:
+    return args.wl_func(args)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="Griffin (HPCA 2022) reproduction toolkit"
@@ -316,12 +393,18 @@ def build_parser() -> argparse.ArgumentParser:
                 help="print persistent-cache hit/miss statistics",
             )
 
+    workload_help = (
+        f"workload token: a registry name ({', '.join(benchmark_names())}), "
+        f'a name:override derivation (e.g. "BERT:weight_sparsity=0.9"), '
+        f"or a WorkloadSpec JSON path"
+    )
+
     sim = sub.add_parser("simulate", help="cycle-simulate one network on one design")
     sim.add_argument(
         "--arch", required=True,
         help='e.g. "B(4,0,1,on)", Dense, Griffin, Sparse.B*, or a baseline name',
     )
-    sim.add_argument("--network", required=True, choices=benchmark_names())
+    sim.add_argument("--network", required=True, help=workload_help)
     sim.add_argument("--category", type=_category, default=ModelCategory.B)
     sim.add_argument("--layers", action="store_true", help="print per-layer table")
     cache_flags(sim)
@@ -368,8 +451,8 @@ def build_parser() -> argparse.ArgumentParser:
         help="smoke mode: minimal sampling, BERT+AlexNet suite (overrides --passes/--max-t)",
     )
     sweep.add_argument(
-        "--network", action="append", choices=benchmark_names(),
-        help="restrict the suite to these benchmarks",
+        "--network", action="append",
+        help=f"restrict the suite to these workloads ({workload_help})",
     )
     sweep.add_argument(
         "--limit", type=int, default=0, help="evaluate only the first N design points"
@@ -442,8 +525,9 @@ def build_parser() -> argparse.ArgumentParser:
              "(default 8, or the spec's)",
     )
     search.add_argument(
-        "--network", action="append", choices=benchmark_names(),
-        help="restrict the evaluation suite to these benchmarks (flag mode)",
+        "--network", action="append",
+        help=f"restrict the evaluation suite to these workloads (flag mode; "
+             f"{workload_help})",
     )
     search.add_argument(
         "--quick", action="store_true",
@@ -474,6 +558,39 @@ def build_parser() -> argparse.ArgumentParser:
         "--progress", action="store_true", help="report progress on stderr"
     )
     search.set_defaults(func=cmd_search)
+
+    wl = sub.add_parser(
+        "workloads",
+        help="list the workload registry, validate WorkloadSpec JSON files, "
+             "or print content fingerprints",
+    )
+    wl_sub = wl.add_subparsers(dest="wl_command", required=True)
+    wl_list = wl_sub.add_parser(
+        "list", help="table of every registered workload with its fingerprint"
+    )
+    wl_list.add_argument(
+        "--json", dest="json_path", default=None,
+        help="also write the registry rows to this JSON file",
+    )
+    wl_list.set_defaults(func=cmd_workloads, wl_func=cmd_workloads_list)
+    wl_validate = wl_sub.add_parser(
+        "validate",
+        help="parse, round-trip, and build WorkloadSpec JSON files "
+             "(exit 2 on any failure)",
+    )
+    wl_validate.add_argument(
+        "paths", nargs="+", help="WorkloadSpec JSON files to validate"
+    )
+    wl_validate.set_defaults(func=cmd_workloads, wl_func=cmd_workloads_validate)
+    wl_fp = wl_sub.add_parser(
+        "fingerprint",
+        help="print the stable content fingerprint of workload tokens",
+    )
+    wl_fp.add_argument(
+        "tokens", nargs="+", metavar="token",
+        help="workload tokens (names, name:override, or spec paths)",
+    )
+    wl_fp.set_defaults(func=cmd_workloads, wl_func=cmd_workloads_fingerprint)
     return parser
 
 

@@ -50,7 +50,12 @@ from repro.hw.cost import (
     griffin_cost,
 )
 from repro.sim.engine import SimulationOptions, simulate_network
-from repro.workloads.registry import BENCHMARKS, BenchmarkInfo
+from repro.workloads.registry import (
+    BENCHMARKS,
+    Workload,
+    WorkloadLike,
+    parse_workload,
+)
 
 
 @dataclass(frozen=True)
@@ -61,26 +66,32 @@ class EvalSettings:
     lighter tile sampling -- what the checked-in benchmarks run by default
     so a full figure regenerates in minutes.  Construct with
     ``quick=False`` for the full six-network Table IV suite.  ``networks``
-    restricts the suite to the named benchmarks regardless of ``quick``
-    (used by ``repro sweep --network`` and the fast test sweeps).
+    replaces the suite entirely: each entry is any workload token
+    :func:`repro.workloads.registry.parse_workload` accepts -- a preset
+    name, a ``name:override`` derivation, a WorkloadSpec JSON path, or a
+    :class:`~repro.workloads.registry.Workload` object (used by ``repro
+    sweep --network``, ``Session.evaluate(networks=...)`` and the fast
+    test sweeps).  Tokens resolve lazily at suite time, so settings stay
+    cheap to pickle into worker processes.
     """
 
     quick: bool = True
     options: SimulationOptions = field(
         default_factory=lambda: SimulationOptions(passes_per_gemm=3, max_t_steps=64)
     )
-    networks: tuple[str, ...] | None = None
+    networks: tuple[WorkloadLike, ...] | None = None
 
-    def suite(self, category: ModelCategory) -> list[BenchmarkInfo]:
-        infos = [b for b in BENCHMARKS if category in b.categories()]
+    def suite(self, category: ModelCategory) -> list[Workload]:
         if self.networks is not None:
-            wanted = {name.lower() for name in self.networks}
-            picked = [b for b in infos if b.name.lower() in wanted]
+            resolved = [parse_workload(token) for token in self.networks]
+            picked = [w for w in resolved if category in w.categories()]
             if not picked:
+                names = [w.name for w in resolved]
                 raise ValueError(
-                    f"none of {self.networks} exercises {category.value}"
+                    f"none of {names} exercises {category.value}"
                 )
             return picked
+        infos = [b for b in BENCHMARKS if category in b.categories()]
         if self.quick:
             keep = {"AlexNet", "ResNet50", "BERT"}
             quick_infos = [b for b in infos if b.name in keep]

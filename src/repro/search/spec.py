@@ -35,6 +35,7 @@ from repro.search.objectives import ObjectiveSet
 from repro.search.space import SearchSpace, resolve_space
 from repro.search.strategy import SearchStrategy, build_strategy
 from repro.sim.engine import SimulationOptions
+from repro.workloads.registry import anchor_workload_tokens, parse_workload
 
 #: Default sampling of declarative specs (matches ``ExperimentSpec``).
 SPEC_DEFAULT_OPTIONS = {"passes_per_gemm": 3, "max_t_steps": 64}
@@ -151,8 +152,9 @@ class SearchSpec:
             ),
             checkpoint=str(data["checkpoint"]) if data.get("checkpoint") else None,
         )
-        # Fail fast: an empty feasible grid or an unbuildable strategy is a
-        # spec error, not something to discover mid-run.
+        # Fail fast: an empty feasible grid, an unbuildable strategy, or an
+        # unresolvable workload token is a spec error, not something to
+        # discover mid-run.
         if not any(True for _ in spec.space):
             raise ValueError(
                 f"search space {spec.space.name!r} has no feasible config "
@@ -160,6 +162,8 @@ class SearchSpec:
             )
         spec.build_strategy()
         spec.resolve_objectives()
+        for token in spec.networks or ():
+            parse_workload(token)
         return spec
 
     @staticmethod
@@ -168,8 +172,19 @@ class SearchSpec:
 
     @staticmethod
     def load(path: str | os.PathLike) -> "SearchSpec":
-        """Read a spec from a JSON file (the ``repro search`` input)."""
-        return SearchSpec.from_json(Path(path).read_text())
+        """Read a spec from a JSON file (the ``repro search`` input).
+
+        Relative WorkloadSpec paths in ``networks`` are resolved against
+        the spec file's directory (same contract as
+        :meth:`repro.api.ExperimentSpec.load`).
+        """
+        data = json.loads(Path(path).read_text())
+        if isinstance(data, Mapping) and data.get("networks"):
+            data = dict(data)
+            data["networks"] = anchor_workload_tokens(
+                data["networks"], Path(path).parent
+            )
+        return SearchSpec.from_dict(data)
 
     @staticmethod
     def coerce(spec: "SearchSpec | Mapping | str | os.PathLike") -> "SearchSpec":

@@ -40,7 +40,13 @@ from repro.memory.sram import SramModel
 from repro.sim.compaction import compact_schedule
 from repro.sim.dual import dual_sparse_cycles
 from repro.sim.shuffle import rotation_shuffle
-from repro.workloads.models import Network, NetworkLayer, RawGemmSpec
+from repro.workloads.models import (
+    Network,
+    NetworkLayer,
+    RawGemmSpec,
+    gemm_content,
+    network_fingerprint,
+)
 from repro.workloads.sparsity import (
     SparsityProfile,
     act_profile,
@@ -401,13 +407,19 @@ _persistent_cache: LayerResultCache | None = None
 
 #: Version tag of the simulation-key schema.  Bump whenever the simulation
 #: semantics change in a way that invalidates previously cached results.
-SIMULATION_KEY_VERSION = "layer-sim-v1"
+#: (v2: workload-side content serializes through the shared
+#: :func:`repro.workloads.models.gemm_content` canonical form that also
+#: feeds workload fingerprints.)
+SIMULATION_KEY_VERSION = "layer-sim-v2"
 
 #: Version tag of the network-key schema.  Bump when the *aggregation* of
 #: layer results into a network result changes (the layer tier is covered
 #: separately: network keys embed the per-layer simulation keys, so a
 #: ``SIMULATION_KEY_VERSION`` bump invalidates both tiers at once).
-NETWORK_KEY_VERSION = "network-sim-v1"
+#: (v2: keys embed the workload content fingerprint, so user-defined
+#: networks -- which share neither a registry name nor a factory -- cache
+#: correctly and can never collide on display names.)
+NETWORK_KEY_VERSION = "network-sim-v2"
 
 
 def simulation_key(
@@ -429,10 +441,7 @@ def simulation_key(
     geometry = config.geometry
     parts = [
         SIMULATION_KEY_VERSION,
-        ";".join(
-            f"{g.m},{g.k},{g.n},{g.repeats},{int(g.weight_is_dynamic)},{g.channels}"
-            for g in gemms
-        ),
+        gemm_content(gemms),
         repr(float(weight_density)),
         repr(float(act_density)),
         f"a={config.a.as_tuple()}",
@@ -455,17 +464,22 @@ def network_key(
 ) -> str:
     """Content-addressed key of one whole-network simulation.
 
-    Derived from the per-layer :func:`simulation_key` sequence -- so it
-    inherits every input the layer simulations depend on, including
-    :data:`SIMULATION_KEY_VERSION` -- plus exactly the display metadata the
-    cached :class:`NetworkSimResult` carries: the network name, the layer
-    names in order, and the configuration label (which the layer keys
-    deliberately exclude).  Hashing keys, not results, keeps the derivation
-    cheap: a warm lookup costs one hash and one disk read, no simulation.
+    Derived from the workload's content fingerprint
+    (:func:`repro.workloads.models.network_fingerprint` -- layer specs plus
+    the per-layer density assignments, so user-defined networks can never
+    collide on a display name) and the per-layer :func:`simulation_key`
+    sequence -- which inherits every input the layer simulations depend on,
+    including :data:`SIMULATION_KEY_VERSION` -- plus exactly the display
+    metadata the cached :class:`NetworkSimResult` carries: the network
+    name, the layer names in order, and the configuration label (which the
+    layer keys deliberately exclude).  Hashing keys, not results, keeps the
+    derivation cheap: a warm lookup costs one hash and one disk read, no
+    simulation.
     """
     parts = [
         NETWORK_KEY_VERSION,
         network.name,
+        f"fp={network_fingerprint(network)}",
         config.label,
         category.value,
     ]

@@ -16,8 +16,10 @@ densities with dense activations).
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from functools import lru_cache
+from typing import Iterable
 
 from repro.gemm.layers import (
     AttentionSpec,
@@ -97,6 +99,48 @@ class Network:
         kept = sum(layer.act_volume * layer.act_density for layer in relu_fed)
         return 1.0 - kept / volume if volume else 0.0
 
+    @property
+    def fingerprint(self) -> str:
+        """Stable content hash of the workload (see :func:`network_fingerprint`)."""
+        return network_fingerprint(self)
+
+
+def gemm_content(gemms: Iterable[GemmShape]) -> str:
+    """Canonical serialization of a GEMM sequence.
+
+    This is the exact per-layer content string the engine's
+    :func:`repro.sim.engine.simulation_key` hashes, shared here so the
+    workload fingerprint and the cache keys can never drift apart.
+    """
+    return ";".join(
+        f"{g.m},{g.k},{g.n},{g.repeats},{int(g.weight_is_dynamic)},{g.channels}"
+        for g in gemms
+    )
+
+
+def layer_content(layer: NetworkLayer) -> str:
+    """Canonical serialization of one layer: name, GEMMs, densities."""
+    return (
+        f"{layer.name}|{gemm_content(layer.spec.gemms())}"
+        f"|{layer.weight_density!r}|{layer.act_density!r}"
+    )
+
+
+def network_fingerprint(network: Network) -> str:
+    """Stable content fingerprint of a workload.
+
+    Hashes the network name plus every layer's canonical content (display
+    name, lowered GEMM shapes, and the per-layer density assignments) --
+    exactly the workload-side inputs a simulation depends on.  The
+    fingerprint is stable across processes and sessions, and any edit to a
+    layer or a density produces a new fingerprint; it feeds
+    :func:`repro.sim.engine.network_key`, so user-defined workloads cache
+    correctly without name collisions.
+    """
+    parts = [network.name]
+    parts.extend(layer_content(layer) for layer in network.layers)
+    return hashlib.sha256("\n".join(parts).encode()).hexdigest()
+
 
 _DENSITY_FLOOR = 0.05
 
@@ -174,6 +218,24 @@ def _assign_densities(
         NetworkLayer(spec=s, weight_density=wd, act_density=ad)
         for s, wd, ad in zip(specs, w_density, a_density)
     ]
+
+
+#: Public name of the analytical per-layer density solver -- the default
+#: sparsity profile of declarative workload specs (see
+#: :mod:`repro.workloads.spec`).
+def assign_densities(
+    specs: list[LayerSpec],
+    weight_sparsity: float,
+    act_sparsity: float,
+) -> list[NetworkLayer]:
+    """Per-layer densities hitting network-level (weight, act) sparsity ratios.
+
+    The prunability-model solver the Table IV presets use: first and
+    depthwise convolutions resist pruning, fully-connected layers prune
+    hardest, and a single scale solved by bisection makes the
+    parameter-weighted sparsity match the target exactly.
+    """
+    return _assign_densities(specs, weight_sparsity, act_sparsity)
 
 
 def _network(

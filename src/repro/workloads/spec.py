@@ -1,0 +1,554 @@
+"""Declarative workload specifications (the WorkloadSpec JSON format).
+
+A :class:`WorkloadSpec` is to workloads what
+:class:`repro.api.ExperimentSpec` is to experiments: a dict / JSON
+description of a network -- a layer list using the existing layer-spec
+shapes plus a pluggable sparsity profile -- that builds into a first-class
+:class:`~repro.workloads.registry.Workload`::
+
+    {
+      "name": "TinyCNN",
+      "layers": [
+        {"type": "conv2d", "name": "conv1", "in_channels": 3,
+         "out_channels": 32, "kernel": 3, "input_hw": 32, "padding": 1},
+        {"type": "linear", "name": "fc", "in_features": 2048,
+         "out_features": 10}
+      ],
+      "sparsity": {"profile": "analytical",
+                   "weight_sparsity": 0.75, "act_sparsity": 0.45}
+    }
+
+Layer types map one-to-one onto the :mod:`repro.gemm.layers` /
+:mod:`repro.workloads.models` dataclasses: ``conv2d``
+(:class:`~repro.gemm.layers.Conv2DSpec`), ``linear``
+(:class:`~repro.gemm.layers.LinearSpec`), ``attention``
+(:class:`~repro.gemm.layers.AttentionSpec`), ``feedforward``
+(:class:`~repro.gemm.layers.FeedForwardSpec`), and ``gemm``
+(:class:`~repro.workloads.models.RawGemmSpec`, raw ``{m, k, n}`` shapes).
+
+Sparsity profiles are pluggable (:func:`register_sparsity_profile`); three
+ship built in:
+
+* ``analytical`` (the default) -- the Table IV prunability-model solver
+  (:func:`repro.workloads.models.assign_densities`): network-level
+  ``weight_sparsity`` / ``act_sparsity`` targets, per-layer densities
+  derived from layer shape and position;
+* ``uniform`` -- one ``weight_density`` / ``act_density`` pair applied to
+  every layer literally;
+* ``explicit`` -- per-layer densities keyed by layer name, for externally
+  measured or hierarchical/structured schedules.
+
+``to_dict`` / ``from_dict`` round-trip exactly, and the built workload's
+content fingerprint (:func:`repro.workloads.models.network_fingerprint`)
+is a pure function of the spec -- the property ``repro workloads
+validate`` checks and the cache keys rely on.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Callable, Mapping, Protocol, Sequence
+
+from repro.gemm.layers import (
+    AttentionSpec,
+    Conv2DSpec,
+    FeedForwardSpec,
+    GemmShape,
+    LayerSpec,
+    LinearSpec,
+)
+from repro.workloads.models import (
+    Network,
+    NetworkLayer,
+    RawGemmSpec,
+    assign_densities,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.workloads.registry import Workload
+
+
+# ----------------------------------------------------------------------
+# Layer (de)serialization.
+# ----------------------------------------------------------------------
+
+_GEMM_KEYS = {"m", "k", "n", "repeats", "weight_is_dynamic", "channels"}
+
+#: type tag -> (dataclass, JSON keys beyond "type"/"name", required keys)
+_LAYER_TYPES: dict[str, tuple[type, tuple[str, ...], tuple[str, ...]]] = {
+    "conv2d": (
+        Conv2DSpec,
+        ("in_channels", "out_channels", "kernel", "input_hw", "stride",
+         "padding", "groups"),
+        ("in_channels", "out_channels", "kernel", "input_hw"),
+    ),
+    "linear": (
+        LinearSpec,
+        ("in_features", "out_features", "batch"),
+        ("in_features", "out_features"),
+    ),
+    "attention": (AttentionSpec, ("hidden", "heads", "seq_len"), ()),
+    "feedforward": (
+        FeedForwardSpec, ("hidden", "intermediate", "seq_len"), ()
+    ),
+    "gemm": (RawGemmSpec, ("shapes",), ("shapes",)),
+}
+
+_TYPE_OF_CLASS = {cls: tag for tag, (cls, _, _) in _LAYER_TYPES.items()}
+
+
+def _gemm_from_dict(data: object, where: str) -> GemmShape:
+    if not isinstance(data, Mapping):
+        raise ValueError(
+            f"{where}: each GEMM shape must be a mapping "
+            f"{{m, k, n, ...}}, got {data!r}"
+        )
+    unknown = set(data) - _GEMM_KEYS
+    if unknown:
+        raise ValueError(
+            f"{where}: unknown GEMM shape keys {sorted(unknown)}; "
+            f"accepted: {sorted(_GEMM_KEYS)}"
+        )
+    for key in ("m", "k", "n"):
+        if key not in data:
+            raise ValueError(f"{where}: GEMM shape needs '{key}'")
+    return GemmShape(
+        m=int(data["m"]),
+        k=int(data["k"]),
+        n=int(data["n"]),
+        repeats=int(data.get("repeats", 1)),
+        weight_is_dynamic=bool(data.get("weight_is_dynamic", False)),
+        channels=int(data.get("channels", 0)),
+    )
+
+
+def _gemm_to_dict(gemm: GemmShape) -> dict:
+    payload: dict = {"m": gemm.m, "k": gemm.k, "n": gemm.n}
+    if gemm.repeats != 1:
+        payload["repeats"] = gemm.repeats
+    if gemm.weight_is_dynamic:
+        payload["weight_is_dynamic"] = True
+    if gemm.channels:
+        payload["channels"] = gemm.channels
+    return payload
+
+
+def layer_from_dict(data: object) -> LayerSpec:
+    """Build one layer spec from its JSON mapping (strict keys)."""
+    if not isinstance(data, Mapping):
+        raise ValueError(
+            f"each layer must be a mapping with a 'type' and a 'name', "
+            f"got {data!r}"
+        )
+    tag = str(data.get("type", "")).lower()
+    if tag not in _LAYER_TYPES:
+        raise ValueError(
+            f"unknown layer type {data.get('type')!r}; "
+            f"accepted: {', '.join(sorted(_LAYER_TYPES))}"
+        )
+    cls, keys, required = _LAYER_TYPES[tag]
+    name = data.get("name")
+    if not name:
+        raise ValueError(f"{tag} layer needs a 'name'")
+    where = f"layer {name!r}"
+    unknown = set(data) - set(keys) - {"type", "name"}
+    if unknown:
+        raise ValueError(
+            f"{where}: unknown {tag} keys {sorted(unknown)}; "
+            f"accepted: {sorted(keys)}"
+        )
+    missing = [key for key in required if key not in data]
+    if missing:
+        raise ValueError(f"{where}: missing required {tag} keys {missing}")
+    if tag == "gemm":
+        shapes = data["shapes"]
+        if not isinstance(shapes, Sequence) or isinstance(shapes, (str, bytes)):
+            raise ValueError(f"{where}: 'shapes' must be a list of GEMM dicts")
+        return RawGemmSpec(
+            name=str(name),
+            shapes=tuple(_gemm_from_dict(s, where) for s in shapes),
+        )
+    try:
+        kwargs = {key: int(data[key]) for key in keys if key in data}
+    except (TypeError, ValueError):
+        bad = {k: data[k] for k in keys
+               if k in data and not isinstance(data[k], int)}
+        raise ValueError(
+            f"{where}: {tag} dimensions must be integers, got {bad}"
+        ) from None
+    # Conv2D keeps the models.py convention: padding defaults to "same".
+    if tag == "conv2d" and "padding" not in data:
+        kwargs["padding"] = kwargs["kernel"] // 2
+    return cls(name=str(name), **kwargs)
+
+
+def layer_to_dict(spec: LayerSpec) -> dict:
+    """Serialize one layer spec to its JSON mapping (round-trips exactly)."""
+    tag = _TYPE_OF_CLASS.get(type(spec))
+    if tag is None:
+        raise TypeError(
+            f"layer {spec.name!r} has unserializable type {type(spec).__name__}; "
+            f"supported: {', '.join(sorted(_LAYER_TYPES))}"
+        )
+    payload: dict = {"type": tag, "name": spec.name}
+    if tag == "gemm":
+        payload["shapes"] = [_gemm_to_dict(g) for g in spec.shapes]
+        return payload
+    keys = _LAYER_TYPES[tag][1]
+    payload.update({key: getattr(spec, key) for key in keys})
+    return payload
+
+
+# ----------------------------------------------------------------------
+# Sparsity profiles (pluggable).
+# ----------------------------------------------------------------------
+
+
+class SparsityProfileSpec(Protocol):
+    """The pluggable sparsity half of a workload spec.
+
+    A profile assigns per-layer (weight, activation) densities to a layer
+    list and serializes to the spec's ``sparsity`` JSON mapping (with a
+    ``profile`` tag naming its kind).
+    """
+
+    def assign(self, specs: Sequence[LayerSpec]) -> tuple[NetworkLayer, ...]: ...
+
+    def to_dict(self) -> dict: ...
+
+
+def _check_fraction(name: str, value: float) -> float:
+    value = float(value)
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value}")
+    return value
+
+
+@dataclass(frozen=True)
+class AnalyticalSparsity:
+    """The default profile: the Table IV prunability-model density solver."""
+
+    weight_sparsity: float = 0.0
+    act_sparsity: float = 0.0
+
+    def __post_init__(self) -> None:
+        _check_fraction("weight_sparsity", self.weight_sparsity)
+        _check_fraction("act_sparsity", self.act_sparsity)
+
+    def assign(self, specs: Sequence[LayerSpec]) -> tuple[NetworkLayer, ...]:
+        return tuple(
+            assign_densities(list(specs), self.weight_sparsity, self.act_sparsity)
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "profile": "analytical",
+            "weight_sparsity": self.weight_sparsity,
+            "act_sparsity": self.act_sparsity,
+        }
+
+    @staticmethod
+    def from_dict(data: Mapping) -> "AnalyticalSparsity":
+        return AnalyticalSparsity(
+            weight_sparsity=float(data.get("weight_sparsity", 0.0)),
+            act_sparsity=float(data.get("act_sparsity", 0.0)),
+        )
+
+
+@dataclass(frozen=True)
+class UniformSparsity:
+    """One density pair applied to every layer literally."""
+
+    weight_density: float = 1.0
+    act_density: float = 1.0
+
+    def __post_init__(self) -> None:
+        _check_fraction("weight_density", self.weight_density)
+        _check_fraction("act_density", self.act_density)
+
+    def assign(self, specs: Sequence[LayerSpec]) -> tuple[NetworkLayer, ...]:
+        return tuple(
+            NetworkLayer(
+                spec=spec,
+                weight_density=self.weight_density,
+                act_density=self.act_density,
+            )
+            for spec in specs
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "profile": "uniform",
+            "weight_density": self.weight_density,
+            "act_density": self.act_density,
+        }
+
+    @staticmethod
+    def from_dict(data: Mapping) -> "UniformSparsity":
+        return UniformSparsity(
+            weight_density=float(data.get("weight_density", 1.0)),
+            act_density=float(data.get("act_density", 1.0)),
+        )
+
+
+@dataclass(frozen=True)
+class ExplicitSparsity:
+    """Per-layer densities keyed by layer name.
+
+    ``densities`` maps each layer name to its ``(weight_density,
+    act_density)`` pair; every network layer must have an entry unless a
+    ``"*"`` default entry is given, and entries naming no layer are
+    rejected (typo protection).  This is the profile for externally
+    measured schedules and structured/hierarchical sparsity variants where
+    the analytical solver's shape heuristics do not apply.
+    """
+
+    densities: tuple[tuple[str, float, float], ...] = ()
+
+    def __post_init__(self) -> None:
+        seen = set()
+        for name, weight, act in self.densities:
+            if name in seen:
+                raise ValueError(f"duplicate explicit-sparsity entry {name!r}")
+            seen.add(name)
+            _check_fraction(f"{name} weight_density", weight)
+            _check_fraction(f"{name} act_density", act)
+
+    def assign(self, specs: Sequence[LayerSpec]) -> tuple[NetworkLayer, ...]:
+        table = {name: (weight, act) for name, weight, act in self.densities}
+        default = table.pop("*", None)
+        known = {spec.name for spec in specs}
+        unmatched = [name for name in table if name not in known]
+        if unmatched:
+            raise ValueError(
+                f"explicit sparsity names layers that do not exist: "
+                f"{unmatched} (layers: {sorted(known)})"
+            )
+        missing = [spec.name for spec in specs
+                   if spec.name not in table and default is None]
+        if missing:
+            raise ValueError(
+                f"explicit sparsity is missing entries for layers {missing}; "
+                f"add them or a '*' default entry"
+            )
+        layers = []
+        for spec in specs:
+            weight, act = table.get(spec.name, default or (1.0, 1.0))
+            layers.append(
+                NetworkLayer(spec=spec, weight_density=weight, act_density=act)
+            )
+        return tuple(layers)
+
+    def to_dict(self) -> dict:
+        return {
+            "profile": "explicit",
+            "layers": {
+                name: {"weight_density": weight, "act_density": act}
+                for name, weight, act in self.densities
+            },
+        }
+
+    @staticmethod
+    def from_dict(data: Mapping) -> "ExplicitSparsity":
+        layers = data.get("layers")
+        if not isinstance(layers, Mapping) or not layers:
+            raise ValueError(
+                "explicit sparsity needs a non-empty 'layers' mapping of "
+                "layer name -> {weight_density, act_density}"
+            )
+        entries = []
+        for name, pair in layers.items():
+            if not isinstance(pair, Mapping):
+                raise ValueError(
+                    f"explicit sparsity entry {name!r} must be a mapping "
+                    f"{{weight_density, act_density}}, got {pair!r}"
+                )
+            unknown = set(pair) - {"weight_density", "act_density"}
+            if unknown:
+                raise ValueError(
+                    f"explicit sparsity entry {name!r} has unknown keys "
+                    f"{sorted(unknown)}; accepted: weight_density, act_density"
+                )
+            entries.append(
+                (
+                    str(name),
+                    float(pair.get("weight_density", 1.0)),
+                    float(pair.get("act_density", 1.0)),
+                )
+            )
+        return ExplicitSparsity(densities=tuple(entries))
+
+
+#: kind -> parser; extend with :func:`register_sparsity_profile`.
+SPARSITY_PROFILES: dict[str, Callable[[Mapping], SparsityProfileSpec]] = {
+    "analytical": AnalyticalSparsity.from_dict,
+    "uniform": UniformSparsity.from_dict,
+    "explicit": ExplicitSparsity.from_dict,
+}
+
+
+def register_sparsity_profile(
+    kind: str, parser: Callable[[Mapping], SparsityProfileSpec], *,
+    replace: bool = False,
+) -> None:
+    """Register a custom sparsity-profile kind for WorkloadSpec JSON.
+
+    ``parser`` receives the spec's ``sparsity`` mapping (minus nothing --
+    the ``profile`` tag included) and returns an object implementing
+    :class:`SparsityProfileSpec`.
+    """
+    key = kind.strip().lower()
+    if not replace and key in SPARSITY_PROFILES:
+        raise ValueError(
+            f"sparsity profile {kind!r} is already registered; pass "
+            f"replace=True to overwrite it"
+        )
+    SPARSITY_PROFILES[key] = parser
+
+
+def sparsity_from_dict(data: object) -> SparsityProfileSpec:
+    """Build a sparsity profile from its JSON mapping (``profile`` tag)."""
+    if not isinstance(data, Mapping):
+        raise ValueError(
+            f"'sparsity' must be a mapping with a 'profile' tag, got {data!r}"
+        )
+    kind = str(data.get("profile", "analytical")).lower()
+    parser = SPARSITY_PROFILES.get(kind)
+    if parser is None:
+        import difflib
+
+        close = difflib.get_close_matches(kind, SPARSITY_PROFILES, n=1, cutoff=0.6)
+        hint = f"; did you mean {close[0]!r}?" if close else ""
+        raise ValueError(
+            f"unknown sparsity profile {data.get('profile')!r}{hint} "
+            f"(registered: {', '.join(sorted(SPARSITY_PROFILES))})"
+        )
+    payload = {key: value for key, value in data.items() if key != "profile"}
+    return parser(payload)
+
+
+# ----------------------------------------------------------------------
+# The spec itself.
+# ----------------------------------------------------------------------
+
+_SPEC_KEYS = {"name", "layers", "sparsity", "accuracy", "dense_latency_cycles"}
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Declarative description of one workload (JSON-shaped)."""
+
+    name: str
+    layers: tuple[LayerSpec, ...]
+    sparsity: SparsityProfileSpec
+    accuracy: str = ""
+    dense_latency_cycles: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.layers:
+            raise ValueError(f"workload {self.name!r} needs at least one layer")
+        seen = set()
+        for spec in self.layers:
+            if spec.name in seen:
+                raise ValueError(
+                    f"workload {self.name!r} has duplicate layer name "
+                    f"{spec.name!r}"
+                )
+            seen.add(spec.name)
+
+    @staticmethod
+    def from_dict(data: object) -> "WorkloadSpec":
+        """Build and validate a spec from a plain mapping (JSON shape)."""
+        if not isinstance(data, Mapping):
+            raise ValueError(
+                f"a workload spec must be a JSON object, got {type(data).__name__}"
+            )
+        unknown = set(data) - _SPEC_KEYS
+        if unknown:
+            raise ValueError(
+                f"unknown workload keys {sorted(unknown)}; "
+                f"accepted: {sorted(_SPEC_KEYS)}"
+            )
+        name = data.get("name")
+        if not name:
+            raise ValueError("workload spec needs a 'name'")
+        layers = data.get("layers")
+        if not isinstance(layers, Sequence) or isinstance(layers, (str, bytes)):
+            raise ValueError("workload spec needs a 'layers' list")
+        spec = WorkloadSpec(
+            name=str(name),
+            layers=tuple(layer_from_dict(layer) for layer in layers),
+            sparsity=sparsity_from_dict(data.get("sparsity") or {}),
+            accuracy=str(data.get("accuracy", "")),
+            dense_latency_cycles=float(data.get("dense_latency_cycles", 0.0)),
+        )
+        # Fail fast on an unassignable profile (e.g. explicit entries that
+        # name no layer), before the spec reaches a simulation.
+        spec.sparsity.assign(spec.layers)
+        return spec
+
+    @staticmethod
+    def from_json(text: str) -> "WorkloadSpec":
+        return WorkloadSpec.from_dict(json.loads(text))
+
+    @staticmethod
+    def load(path: str | os.PathLike) -> "WorkloadSpec":
+        """Read a spec from a JSON file (the workload-token file format).
+
+        Any malformed-content failure (bad JSON, wrong shapes, bad values)
+        surfaces as a ``ValueError`` naming the file, so callers validating
+        untrusted specs need exactly one except clause.
+        """
+        try:
+            return WorkloadSpec.from_json(Path(path).read_text())
+        except (ValueError, TypeError, KeyError) as exc:
+            raise ValueError(f"workload spec {os.fspath(path)!r}: {exc}") from None
+
+    @staticmethod
+    def coerce(spec: "WorkloadSpec | Mapping | str | os.PathLike") -> "WorkloadSpec":
+        """Accept a spec object, a dict, or a path to a JSON file."""
+        if isinstance(spec, WorkloadSpec):
+            return spec
+        if isinstance(spec, Mapping):
+            return WorkloadSpec.from_dict(spec)
+        return WorkloadSpec.load(spec)
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form; ``from_dict`` round-trips it exactly."""
+        payload: dict = {
+            "name": self.name,
+            "layers": [layer_to_dict(spec) for spec in self.layers],
+            "sparsity": self.sparsity.to_dict(),
+        }
+        if self.accuracy:
+            payload["accuracy"] = self.accuracy
+        if self.dense_latency_cycles:
+            payload["dense_latency_cycles"] = self.dense_latency_cycles
+        return payload
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def build(self) -> "Workload":
+        """Materialize the spec into a first-class :class:`Workload`.
+
+        The per-layer densities come from the sparsity profile; the
+        workload's reference ratios are the built network's realized
+        (parameter- / volume-weighted) sparsities, so category gating
+        (``DNN.A`` needs nonzero activation sparsity) reflects the actual
+        densities rather than the requested targets.
+        """
+        from repro.workloads.registry import Workload
+
+        network = Network(name=self.name, layers=self.sparsity.assign(self.layers))
+        return Workload(
+            name=self.name,
+            source=network,
+            weight_sparsity=network.weight_sparsity,
+            act_sparsity=network.act_sparsity,
+            accuracy=self.accuracy,
+            dense_latency_cycles=self.dense_latency_cycles,
+        )

@@ -28,11 +28,13 @@ class TestParser:
         assert args.network == "AlexNet"
         assert args.category.value == "DNN.B"
 
-    def test_rejects_unknown_network(self):
-        with pytest.raises(SystemExit):
-            build_parser().parse_args(
-                ["simulate", "--arch", "Dense", "--network", "VGG"]
-            )
+    def test_rejects_unknown_network(self, capsys):
+        # Workload tokens are free-form (names, overrides, spec paths), so
+        # rejection happens at resolve time -- with a closest-match hint.
+        assert main(["simulate", "--arch", "Dense", "--network", "ResNet5"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown workload 'ResNet5'" in err
+        assert "did you mean ResNet50" in err
 
     def test_rejects_unknown_category(self):
         with pytest.raises(SystemExit):

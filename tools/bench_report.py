@@ -7,17 +7,26 @@ pass/fail status, and the unified two-tier cache counters of its shared
 session (dumped by the ``REPRO_BENCH_STATS_JSON`` hook in
 ``benchmarks/conftest.py``).  All modules share one persistent cache
 directory (``REPRO_BENCH_CACHE_DIR``), so the per-module hit rates record
-the warm-up trajectory: early modules simulate, later ones read.
+the warm-up trajectory: early modules simulate, later ones read.  A module
+that raises (or whose subprocess dies) is recorded as failed with a
+warning and the run continues, so partial trajectories always land.
 
-This is the perf-trajectory artifact CI uploads on every run; diffing two
-reports shows where evaluation time went.  Run from the repo root::
+Alongside the trajectory it writes ``BENCH_workloads.json``: one record
+per workload the bench run can exercise -- every registry preset plus
+every ``examples/workloads/*.json`` spec -- with its content fingerprint,
+layer count, MACs and sparsity ratios.  Diffing two of these shows exactly
+which workload definitions changed between runs (a fingerprint change
+means every cached result for that workload was invalidated).
+
+These are the perf-trajectory artifacts CI uploads on every run; diffing
+two reports shows where evaluation time went.  Run from the repo root::
 
     python tools/bench_report.py                      # all modules
     python tools/bench_report.py --module table6 --module fig5
     python tools/bench_report.py --output /tmp/BENCH_results.json
 
 Exit status is 0 when every selected module passed, 1 otherwise (the
-report is written either way).
+reports are written either way).
 """
 
 from __future__ import annotations
@@ -34,6 +43,8 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 BENCHMARKS = REPO_ROOT / "benchmarks"
 DEFAULT_OUTPUT = REPO_ROOT / "BENCH_results.json"
+WORKLOADS_BASENAME = "BENCH_workloads.json"
+EXAMPLE_SPECS = REPO_ROOT / "examples" / "workloads"
 
 
 def discover(filters: list[str]) -> list[Path]:
@@ -99,6 +110,25 @@ def run_module(path: Path, cache_dir: str, timeout: float) -> dict:
     }
 
 
+def workload_records() -> list[dict]:
+    """One fingerprint record per registry preset and example spec."""
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    from repro.workloads.registry import WORKLOADS, parse_workload
+
+    def record(workload, source: str) -> dict:
+        return {**workload.describe(), "source": source}
+
+    records = [record(workload, "registry") for workload in WORKLOADS]
+    for path in sorted(EXAMPLE_SPECS.glob("*.json")):
+        rel = str(path.relative_to(REPO_ROOT))
+        try:
+            records.append(record(parse_workload(str(path)), rel))
+        except ValueError as exc:
+            print(f"warning: skipping workload spec {rel}: {exc}", file=sys.stderr)
+            records.append({"name": path.stem, "source": rel, "error": str(exc)})
+    return records
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         description="emit BENCH_results.json (wall time + cache stats "
@@ -138,7 +168,22 @@ def main(argv: list[str] | None = None) -> int:
     records = []
     try:
         for path in modules:
-            record = run_module(path, cache_dir, args.timeout)
+            try:
+                record = run_module(path, cache_dir, args.timeout)
+            except Exception as exc:  # fail soft: partial trajectories land
+                print(
+                    f"warning: benchmark module {path.stem} raised "
+                    f"{type(exc).__name__}: {exc}",
+                    file=sys.stderr,
+                )
+                record = {
+                    "module": path.stem,
+                    "passed": False,
+                    "returncode": -2,
+                    "wall_s": 0.0,
+                    "cache": None,
+                    "summary": f"runner error: {exc}",
+                }
             status = "ok " if record["passed"] else "FAIL"
             hits = (record["cache"] or {}).get("hits", "?")
             misses = (record["cache"] or {}).get("misses", "?")
@@ -161,6 +206,20 @@ def main(argv: list[str] | None = None) -> int:
     }
     with open(args.output, "w") as handle:
         json.dump(report, handle, indent=2)
+
+    workloads_path = Path(args.output).parent / WORKLOADS_BASENAME
+    try:
+        workloads = workload_records()
+        with open(workloads_path, "w") as handle:
+            json.dump({"workloads": workloads}, handle, indent=2)
+        print(f"wrote {workloads_path}: {len(workloads)} workload fingerprints")
+    except Exception as exc:  # fail soft: the trajectory report still lands
+        print(
+            f"warning: could not write {workloads_path}: "
+            f"{type(exc).__name__}: {exc}",
+            file=sys.stderr,
+        )
+
     print(
         f"\nwrote {args.output}: {report['modules_passed']} passed, "
         f"{report['modules_failed']} failed, "
