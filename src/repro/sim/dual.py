@@ -23,7 +23,12 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.config import ArchConfig
-from repro.sim.compaction import CompactionResult, compact_schedule, unpack_schedule
+from repro.sim.compaction import (
+    CompactionResult,
+    compact_schedule,
+    compact_schedule_batch,
+    unpack_schedule,
+)
 
 
 @dataclass(frozen=True)
@@ -108,3 +113,29 @@ def dual_sparse_cycles(
         executed_pairs=a_result.executed_ops,
         borrowed_ops=a_result.borrowed_ops,
     )
+
+
+def dual_sparse_cycles_batch(
+    pairs: "list[tuple[np.ndarray, np.ndarray]]", config: ArchConfig
+) -> list[DualResult]:
+    """Batched :func:`dual_sparse_cycles` over same-geometry tiles.
+
+    The B preprocessing (which records a schedule) runs per tile; the
+    expensive on-the-fly A-side cycle loop over the ``[U, L, M, N]`` pair
+    masks runs once for the whole batch through
+    :func:`compact_schedule_batch` (the compressed depths ``U`` may differ
+    per tile).  Results are identical to mapping
+    :func:`dual_sparse_cycles` over ``pairs``.
+    """
+    filtered = [filtered_pair_mask(a, b, config) for a, b in pairs]
+    da1, da2, da3 = config.a.as_tuple()
+    a_results = compact_schedule_batch([pm for pm, _ in filtered], da1, da2, da3)
+    return [
+        DualResult(
+            cycles=res.cycles,
+            b_schedule_len=b_len,
+            executed_pairs=res.executed_ops,
+            borrowed_ops=res.borrowed_ops,
+        )
+        for res, (_, b_len) in zip(a_results, filtered)
+    ]

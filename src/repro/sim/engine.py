@@ -37,8 +37,8 @@ from repro.gemm.layers import GemmShape
 from repro.gemm.tiling import TileGrid, tile_grid
 from repro.memory.dram import dram_stall_factor, layer_traffic_bytes
 from repro.memory.sram import SramModel
-from repro.sim.compaction import compact_schedule
-from repro.sim.dual import dual_sparse_cycles
+from repro.sim.compaction import compact_schedule, compact_schedule_batch
+from repro.sim.dual import dual_sparse_cycles, dual_sparse_cycles_batch
 from repro.sim.shuffle import rotation_shuffle
 from repro.workloads.models import (
     Network,
@@ -210,6 +210,40 @@ def simulate_tile(
     return TileResult(t_steps, t_steps, 0, 0)
 
 
+def _tile_cycles_batch(
+    config: ArchConfig,
+    pairs: "list[tuple[np.ndarray | None, np.ndarray | None]]",
+) -> list[int]:
+    """Cycles for a batch of sampled output tiles of one GEMM.
+
+    Matches ``simulate_tile(...).cycles`` per pair exactly, but schedules
+    the whole batch through one cycle loop (``compact_schedule_batch`` /
+    ``dual_sparse_cycles_batch``) so the sampled passes share each
+    per-cycle numpy dispatch.  Within one GEMM every pass has the same
+    sparse sides, so the first pair picks the pipeline.
+    """
+    if config.shuffle:
+        pairs = [
+            (
+                rotation_shuffle(a) if a is not None else None,
+                rotation_shuffle(b) if b is not None else None,
+            )
+            for a, b in pairs
+        ]
+    first_a, first_b = pairs[0]
+    if first_a is not None and first_b is not None:
+        return [r.cycles for r in dual_sparse_cycles_batch(pairs, config)]
+    if first_b is not None:
+        results = compact_schedule_batch(
+            [b for _, b in pairs], *config.b.as_tuple()
+        )
+    else:
+        results = compact_schedule_batch(
+            [a for a, _ in pairs], *config.a.as_tuple()
+        )
+    return [r.cycles for r in results]
+
+
 def _layer_seed(*parts: object) -> int:
     digest = hashlib.sha256("|".join(str(p) for p in parts).encode()).digest()
     return int.from_bytes(digest[:8], "little")
@@ -269,6 +303,75 @@ def _scheduling_config(config: ArchConfig, sparsity: _GemmSparsity) -> ArchConfi
     return config
 
 
+@lru_cache(maxsize=512)
+def _sampled_passes(
+    seed: int,
+    weights: SparsityProfile | None,
+    activations: SparsityProfile | None,
+    gemm: GemmShape,
+    geometry: "CoreGeometry",
+    passes_per_gemm: int,
+    max_t_steps: int,
+) -> tuple:
+    """Sampled ``(a_mask, b_mask)`` pass tiles for one GEMM, memoized.
+
+    The whole draw sequence -- factor fields, pass selection, tile masks
+    -- is a pure function of these arguments and crucially does *not*
+    depend on the scheduling config, so a design-space sweep redraws
+    byte-identical tiles for every design point.  Sampling the factor
+    fields (millions of gamma variates per GEMM) dominated sweep profiles
+    once scheduling was vectorized; memoizing turns every re-visit into a
+    lookup.  The rng is local, so a cache hit leaves no stream behind.
+    The cached masks are read-only by contract (every consumer copies
+    before mutating).
+    """
+    rng = np.random.default_rng(seed)
+    grid = tile_grid(gemm, geometry)
+
+    w_field = None
+    if weights:
+        w_field = sample_weight_field(
+            rng, weights, gemm.k, gemm.n, gemm.k_channels, k0=geometry.k0
+        )
+    a_field = None
+    if activations:
+        a_field = sample_act_field(
+            rng, activations, gemm.k, gemm.m, gemm.k_channels, k0=geometry.k0
+        )
+
+    n_passes = grid.m_tiles * grid.n_tiles
+    samples = min(passes_per_gemm, n_passes)
+    pass_ids = rng.choice(n_passes, size=samples, replace=False)
+
+    full_t = grid.t_steps
+    seg_t = min(full_t, max_t_steps)
+
+    pairs = []
+    for pass_id in pass_ids:
+        mi, ni = divmod(int(pass_id), grid.n_tiles)
+        k_start = 0
+        if seg_t < full_t:
+            k_start = int(rng.integers(0, full_t - seg_t + 1)) * geometry.k0
+        a_mask = None
+        b_mask = None
+        if weights is not None:
+            b_mask = weight_tile_mask(
+                rng, weights, w_field,
+                t_steps=seg_t, k0=geometry.k0,
+                k_offset=k_start, k_total=gemm.k,
+                n_offset=ni * geometry.n0, n_tile=geometry.n0, n_total=gemm.n,
+            )
+        if activations is not None:
+            a_mask = activation_tile_mask(
+                rng, activations, a_field,
+                t_steps=seg_t, k0=geometry.k0,
+                k_offset=k_start, k_total=gemm.k,
+                m_offset=mi * geometry.m0, m_tile=geometry.m0, m_total=gemm.m,
+            )
+        pairs.append((a_mask, b_mask))
+    return tuple(pairs)
+
+
 def _simulate_gemm(
     gemm: GemmShape,
     layer: NetworkLayer,
@@ -284,52 +387,23 @@ def _simulate_gemm(
     sched_config = _scheduling_config(config, sparsity)
 
     seed = _layer_seed(options.seed, gemm, layer.weight_density, layer.act_density)
-    rng = np.random.default_rng(seed)
-
-    w_field = None
-    if sparsity.weights:
-        w_field = sample_weight_field(
-            rng, sparsity.weights, gemm.k, gemm.n, gemm.k_channels, k0=geometry.k0
-        )
-    a_field = None
-    if sparsity.activations:
-        a_field = sample_act_field(
-            rng, sparsity.activations, gemm.k, gemm.m, gemm.k_channels, k0=geometry.k0
-        )
-
+    pairs = _sampled_passes(
+        seed, sparsity.weights, sparsity.activations, gemm, geometry,
+        options.passes_per_gemm, options.max_t_steps,
+    )
+    samples = len(pairs)
     n_passes = grid.m_tiles * grid.n_tiles
-    samples = min(options.passes_per_gemm, n_passes)
-    pass_ids = rng.choice(n_passes, size=samples, replace=False)
-
     full_t = grid.t_steps
     seg_t = min(full_t, options.max_t_steps)
     scale_t = full_t / seg_t
 
+    # Schedule the sampled passes as one batch: the tiles of a GEMM share
+    # every per-cycle numpy dispatch of the scheduler's loop instead of
+    # paying it per tile.
+    drain = min(options.pipeline_drain, max(0, seg_t // 4))
     total_cycles = 0.0
-    for pass_id in pass_ids:
-        mi, ni = divmod(int(pass_id), grid.n_tiles)
-        k_start = 0
-        if seg_t < full_t:
-            k_start = int(rng.integers(0, full_t - seg_t + 1)) * geometry.k0
-        a_mask = None
-        b_mask = None
-        if sparsity.weights is not None:
-            b_mask = weight_tile_mask(
-                rng, sparsity.weights, w_field,
-                t_steps=seg_t, k0=geometry.k0,
-                k_offset=k_start, k_total=gemm.k,
-                n_offset=ni * geometry.n0, n_tile=geometry.n0, n_total=gemm.n,
-            )
-        if sparsity.activations is not None:
-            a_mask = activation_tile_mask(
-                rng, sparsity.activations, a_field,
-                t_steps=seg_t, k0=geometry.k0,
-                k_offset=k_start, k_total=gemm.k,
-                m_offset=mi * geometry.m0, m_tile=geometry.m0, m_total=gemm.m,
-            )
-        tile = simulate_tile(sched_config, a_mask=a_mask, b_mask=b_mask, t_steps=seg_t)
-        drain = min(options.pipeline_drain, max(0, seg_t // 4))
-        total_cycles += (tile.cycles + drain) * scale_t
+    for tile_cycles in _tile_cycles_batch(sched_config, list(pairs)):
+        total_cycles += (tile_cycles + drain) * scale_t
 
     mean_cycles = total_cycles / samples
     cycles = mean_cycles * n_passes * gemm.repeats
@@ -532,6 +606,7 @@ def persistent_cache(
 def clear_memo_cache() -> None:
     """Drop the in-process layer memoization (not the persistent cache)."""
     _simulate_layer_cached.cache_clear()
+    _sampled_passes.cache_clear()
 
 
 def _compute_layer(

@@ -1,0 +1,349 @@
+"""Unit tests for ``tools/bench_gate.py`` on synthetic snapshot pairs.
+
+The gate's comparison logic must be trustworthy without ever executing a
+real benchmark: these tests build small in-memory reports/snapshots and
+exercise every verdict the gate can return -- pass, warn, fail, a module
+missing from the current run, a new module, a failed module, the
+absolute noise floor, and the machine-calibration scaling.  The last
+test is the tier-1 smoke over ``benchmarks/history/``: every committed
+snapshot must parse against the schema, so a malformed commit fails fast
+here instead of deep inside a CI gate run.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+from bench_gate import (  # noqa: E402
+    ABS_FLOOR_S,
+    SNAPSHOT_SCHEMA,
+    GateResult,
+    compare,
+    history_snapshots,
+    latest_snapshot,
+    merge_min_of_n,
+    next_snapshot_path,
+    trend_table,
+    validate_report,
+    validate_snapshot,
+)
+
+HISTORY_DIR = REPO_ROOT / "benchmarks" / "history"
+
+
+def make_record(module: str, wall_s: float, passed: bool = True,
+                error: str | None = None) -> dict:
+    return {
+        "module": module,
+        "passed": passed,
+        "returncode": 0 if passed else 1,
+        "wall_s": wall_s,
+        "cache": {"hits": 0, "misses": 1},
+        "summary": "1 passed" if passed else "1 failed",
+        "error": error,
+    }
+
+
+def make_report(records: list[dict]) -> dict:
+    return {
+        "total_wall_s": round(sum(r["wall_s"] for r in records), 3),
+        "modules_passed": sum(r["passed"] for r in records),
+        "modules_failed": sum(not r["passed"] for r in records),
+        "failed": sorted(r["module"] for r in records if not r["passed"]),
+        "python": "3.11.0",
+        "results": records,
+    }
+
+
+def make_snapshot(records: list[dict], calibration_s: float = 1.0) -> dict:
+    return {
+        "meta": {
+            "schema": SNAPSHOT_SCHEMA,
+            "label": "synthetic",
+            "created": "2026-01-01",
+            "commit": "0000000",
+            "repeats": 3,
+            "calibration_s": calibration_s,
+        },
+        "report": make_report(records),
+        "workloads": {"workloads": []},
+    }
+
+
+def statuses(result: GateResult) -> dict[str, str]:
+    return {row.module: row.status for row in result.rows}
+
+
+class TestValidation:
+    def test_valid_report_passes(self):
+        report = make_report([make_record("test_a", 2.0)])
+        assert validate_report(report) == []
+
+    def test_report_missing_keys(self):
+        errors = validate_report({"results": [{}]})
+        assert any("missing keys" in e for e in errors)
+
+    def test_report_not_a_dict(self):
+        assert validate_report([1, 2]) != []
+
+    def test_report_empty_results(self):
+        report = make_report([make_record("test_a", 1.0)])
+        report["results"] = []
+        assert any("non-empty" in e for e in validate_report(report))
+
+    def test_report_duplicate_module(self):
+        report = make_report([make_record("test_a", 1.0), make_record("test_a", 2.0)])
+        assert any("duplicate" in e for e in validate_report(report))
+
+    def test_report_negative_wall(self):
+        report = make_report([make_record("test_a", -1.0)])
+        assert any("wall_s" in e for e in validate_report(report))
+
+    def test_report_failed_list_disagrees(self):
+        report = make_report([make_record("test_a", 1.0, passed=False)])
+        report["failed"] = []  # lies about the per-module records
+        assert any("disagrees" in e for e in validate_report(report))
+
+    def test_valid_snapshot_passes(self):
+        snapshot = make_snapshot([make_record("test_a", 2.0)])
+        assert validate_snapshot(snapshot) == []
+
+    def test_snapshot_missing_meta(self):
+        snapshot = make_snapshot([make_record("test_a", 2.0)])
+        del snapshot["meta"]
+        assert any("meta" in e for e in validate_snapshot(snapshot))
+
+    def test_snapshot_bad_calibration(self):
+        snapshot = make_snapshot([make_record("test_a", 2.0)])
+        snapshot["meta"]["calibration_s"] = -3
+        assert any("calibration_s" in e for e in validate_snapshot(snapshot))
+
+    def test_snapshot_unknown_schema(self):
+        snapshot = make_snapshot([make_record("test_a", 2.0)])
+        snapshot["meta"]["schema"] = "bench-snapshot-v99"
+        assert any("schema" in e for e in validate_snapshot(snapshot))
+
+    def test_compare_rejects_malformed_snapshot(self):
+        current = make_report([make_record("test_a", 1.0)])
+        with pytest.raises(ValueError, match="malformed baseline"):
+            compare(current, {"meta": {}, "report": {}})
+
+
+class TestMergeMinOfN:
+    def test_min_wall_wins(self):
+        merged = merge_min_of_n([
+            make_report([make_record("test_a", 3.0)]),
+            make_report([make_record("test_a", 2.0)]),
+            make_report([make_record("test_a", 2.5)]),
+        ])
+        (record,) = merged["results"]
+        assert record["wall_s"] == 2.0
+        assert record["wall_all"] == [3.0, 2.0, 2.5]
+        assert merged["repeats"] == 3
+        assert merged["total_wall_s"] == 2.0
+
+    def test_any_failing_repeat_marks_failed(self):
+        merged = merge_min_of_n([
+            make_report([make_record("test_a", 2.0)]),
+            make_report([make_record("test_a", 9.0, passed=False, error="boom")]),
+            make_report([make_record("test_a", 1.0)]),
+        ])
+        (record,) = merged["results"]
+        assert not record["passed"]
+        assert record["error"] == "boom"
+        assert merged["failed"] == ["test_a"]
+
+    def test_module_order_preserved(self):
+        merged = merge_min_of_n([
+            make_report([make_record("test_b", 1.0), make_record("test_a", 1.0)]),
+        ])
+        assert [r["module"] for r in merged["results"]] == ["test_b", "test_a"]
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            merge_min_of_n([])
+
+
+class TestCompare:
+    BASE_WALL = 20.0
+
+    def snapshot(self) -> dict:
+        return make_snapshot([
+            make_record("test_fast", 2.0),
+            make_record("test_slow", self.BASE_WALL),
+        ])
+
+    def test_identical_passes(self):
+        current = make_report([
+            make_record("test_fast", 2.0),
+            make_record("test_slow", self.BASE_WALL),
+        ])
+        result = compare(current, self.snapshot())
+        assert result.status == "pass"
+        assert statuses(result) == {"test_fast": "ok", "test_slow": "ok"}
+
+    def test_improvement_passes(self):
+        current = make_report([
+            make_record("test_fast", 0.5),
+            make_record("test_slow", self.BASE_WALL / 3),
+        ])
+        result = compare(current, self.snapshot())
+        assert result.status == "pass"
+
+    def test_regression_between_10_and_20_pct_warns(self):
+        current = make_report([
+            make_record("test_fast", 2.0),
+            make_record("test_slow", self.BASE_WALL * 1.15),
+        ])
+        result = compare(current, self.snapshot())
+        assert result.status == "warn"
+        assert statuses(result)["test_slow"] == "warn"
+
+    def test_regression_over_20_pct_fails(self):
+        current = make_report([
+            make_record("test_fast", 2.0),
+            make_record("test_slow", self.BASE_WALL * 1.5),
+        ])
+        result = compare(current, self.snapshot())
+        assert result.status == "fail"
+        assert statuses(result)["test_slow"] == "fail"
+
+    def test_noise_floor_absorbs_small_absolute_regressions(self):
+        # +25% on a 2s module is only +0.5s -- under the absolute floor,
+        # so it must read as noise, not a regression.
+        assert 2.0 * 0.25 < ABS_FLOOR_S
+        current = make_report([
+            make_record("test_fast", 2.5),
+            make_record("test_slow", self.BASE_WALL),
+        ])
+        result = compare(current, self.snapshot())
+        assert result.status == "pass"
+        assert statuses(result)["test_fast"] == "ok"
+
+    def test_missing_module_fails(self):
+        current = make_report([make_record("test_fast", 2.0)])
+        result = compare(current, self.snapshot())
+        assert result.status == "fail"
+        assert statuses(result)["test_slow"] == "missing"
+
+    def test_new_module_noted_but_passes(self):
+        current = make_report([
+            make_record("test_fast", 2.0),
+            make_record("test_slow", self.BASE_WALL),
+            make_record("test_extra", 99.0),
+        ])
+        result = compare(current, self.snapshot())
+        assert result.status == "pass"
+        assert statuses(result)["test_extra"] == "new"
+
+    def test_failed_current_module_fails(self):
+        current = make_report([
+            make_record("test_fast", 2.0),
+            make_record("test_slow", 1.0, passed=False, error="AssertionError: x"),
+        ])
+        result = compare(current, self.snapshot())
+        assert result.status == "fail"
+        assert statuses(result)["test_slow"] == "failed"
+
+    def test_failed_baseline_carries_no_budget(self):
+        snapshot = make_snapshot([make_record("test_flaky", 5.0, passed=False)])
+        current = make_report([make_record("test_flaky", 99.0)])
+        result = compare(current, snapshot)
+        assert result.status == "pass"
+
+    def test_calibration_scales_budgets(self):
+        # Current machine is 2x slower (probe 2.0 vs baseline 1.0): a wall
+        # that doubled is exactly on budget, not a regression.
+        current = make_report([
+            make_record("test_fast", 4.0),
+            make_record("test_slow", self.BASE_WALL * 2),
+        ])
+        result = compare(current, self.snapshot(), current_calibration_s=2.0)
+        assert result.scale == 2.0
+        assert result.status == "pass"
+
+    def test_calibration_scaling_still_catches_regressions(self):
+        current = make_report([
+            make_record("test_fast", 4.0),
+            make_record("test_slow", self.BASE_WALL * 3),
+        ])
+        result = compare(current, self.snapshot(), current_calibration_s=2.0)
+        assert result.status == "fail"
+
+
+class TestTrendTable:
+    def test_table_includes_every_row_and_verdict(self):
+        snapshot = make_snapshot([
+            make_record("test_fast", 2.0),
+            make_record("test_slow", 20.0),
+        ])
+        current = make_report([
+            make_record("test_fast", 2.0),
+            make_record("test_slow", 30.0),
+        ])
+        table = trend_table(compare(current, snapshot))
+        assert "**FAIL**" in table
+        assert "| test_fast |" in table
+        assert "| test_slow |" in table
+        assert "x1.50" in table
+        assert "over budget" in table
+
+    def test_table_renders_missing_as_dashes(self):
+        snapshot = make_snapshot([make_record("test_gone", 5.0)])
+        current = make_report([make_record("test_new", 1.0)])
+        table = trend_table(compare(current, snapshot))
+        assert "missing" in table
+        assert "new" in table
+
+
+class TestHistory:
+    def test_numbering_starts_at_one(self, tmp_path):
+        assert next_snapshot_path(tmp_path, "First Label!").name == "0001-first-label.json"
+
+    def test_numbering_increments_past_latest(self, tmp_path):
+        (tmp_path / "0001-old.json").write_text("{}")
+        (tmp_path / "0007-newer.json").write_text("{}")
+        (tmp_path / "README.md").write_text("not a snapshot")
+        assert next_snapshot_path(tmp_path, "x").name == "0008-x.json"
+        assert latest_snapshot(tmp_path).name == "0007-newer.json"
+
+    def test_empty_history_has_no_latest(self, tmp_path):
+        assert latest_snapshot(tmp_path) is None
+        assert history_snapshots(tmp_path) == []
+
+
+class TestCommittedSnapshots:
+    """Tier-1 smoke: everything committed under benchmarks/history/ parses."""
+
+    def test_history_dir_has_snapshots(self):
+        assert HISTORY_DIR.is_dir(), "benchmarks/history/ must be committed"
+        assert history_snapshots(HISTORY_DIR), (
+            "benchmarks/history/ holds no snapshots; commit one with "
+            "'python tools/bench_gate.py snapshot --label <label>'"
+        )
+
+    def test_committed_snapshots_validate(self):
+        for path in history_snapshots(HISTORY_DIR):
+            with open(path) as handle:
+                snapshot = json.load(handle)
+            errors = validate_snapshot(snapshot)
+            assert not errors, f"{path.name}: {errors}"
+
+    def test_latest_committed_snapshot_is_self_consistent(self):
+        latest = latest_snapshot(HISTORY_DIR)
+        snapshot = json.loads(latest.read_text())
+        report = snapshot["report"]
+        # The snapshot gates future runs; its own bookkeeping must agree.
+        assert report["modules_failed"] == 0, (
+            f"{latest.name} recorded failed modules {report['failed']} -- "
+            "a broken baseline cannot gate anything"
+        )
+        total = round(sum(r["wall_s"] for r in report["results"]), 3)
+        assert abs(total - report["total_wall_s"]) < 0.01

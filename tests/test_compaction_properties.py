@@ -26,7 +26,11 @@ import math
 import numpy as np
 import pytest
 
-from repro.sim.compaction import compact_schedule, compact_schedule_reference
+from repro.sim.compaction import (
+    compact_schedule,
+    compact_schedule_batch,
+    compact_schedule_reference,
+)
 
 try:
     from hypothesis import given, settings, strategies as st
@@ -82,13 +86,39 @@ def check_near_monotone(mask, base: tuple[int, int, int]) -> None:
             previous = cycles
 
 
-def check_matches_reference(mask, d1: int, d2: int, d3: int) -> None:
-    fast = compact_schedule(mask, d1, d2, d3)
-    slow = compact_schedule_reference(mask, d1, d2, d3)
+def check_matches_reference(
+    mask, d1: int, d2: int, d3: int, front_mode: str = "stream"
+) -> None:
+    fast = compact_schedule(
+        mask, d1, d2, d3, return_schedule=True, front_mode=front_mode
+    )
+    slow = compact_schedule_reference(
+        mask, d1, d2, d3, return_schedule=True, front_mode=front_mode
+    )
     assert fast.cycles == slow.cycles
     assert fast.busy_cycles == slow.busy_cycles
     assert fast.executed_ops == slow.executed_ops
     assert fast.borrowed_ops == slow.borrowed_ops
+    # The recorded schedules must be bit-identical, not just cycle-equal:
+    # downstream dual-sparsity filtering replays them element by element.
+    assert fast.schedule.shape == slow.schedule.shape
+    assert np.array_equal(fast.schedule, slow.schedule)
+    assert fast.schedule.dtype == slow.schedule.dtype
+
+
+def check_batch_matches_sequential(
+    masks, d1: int, d2: int, d3: int, lane_wrap: bool = True
+) -> None:
+    sequential = [
+        compact_schedule(m, d1, d2, d3, lane_wrap=lane_wrap) for m in masks
+    ]
+    batched = compact_schedule_batch(masks, d1, d2, d3, lane_wrap=lane_wrap)
+    assert len(batched) == len(sequential)
+    for seq, bat in zip(sequential, batched):
+        assert bat.cycles == seq.cycles
+        assert bat.busy_cycles == seq.busy_cycles
+        assert bat.executed_ops == seq.executed_ops
+        assert bat.borrowed_ops == seq.borrowed_ops
 
 
 if HAVE_HYPOTHESIS:
@@ -130,9 +160,29 @@ if HAVE_HYPOTHESIS:
             st.tuples(st.integers(2, 8), st.integers(1, 4), st.integers(1, 3),
                       st.integers(1, 2), st.floats(0.05, 0.95), st.integers(0, 2**31)),
             distance, distance, distance,
+            st.sampled_from(["stream", "unit", "tile"]),
         )
-        def test_matches_reference(self, params, d1, d2, d3):
-            check_matches_reference(make_mask(*params), d1, d2, d3)
+        def test_matches_reference(self, params, d1, d2, d3, front_mode):
+            check_matches_reference(make_mask(*params), d1, d2, d3, front_mode)
+
+        @settings(max_examples=30, deadline=None, derandomize=True)
+        @given(
+            st.lists(
+                st.tuples(st.integers(1, 12), st.floats(0.0, 1.0),
+                          st.integers(0, 2**31)),
+                min_size=1, max_size=6,
+            ),
+            st.tuples(st.integers(1, 4), st.integers(1, 3), st.integers(1, 2)),
+            distance, distance, distance,
+            st.booleans(),
+        )
+        def test_batch_matches_sequential(self, tiles, dims, d1, d2, d3, wrap):
+            lanes, c1, c2 = dims
+            masks = [
+                make_mask(t, lanes, c1, c2, density, seed)
+                for t, density, seed in tiles
+            ]
+            check_batch_matches_sequential(masks, d1, d2, d3, lane_wrap=wrap)
 
 
 class TestSeededRandomProperties:
@@ -162,6 +212,49 @@ class TestSeededRandomProperties:
             int(rng.integers(1, 3)), int(rng.integers(1, 2)),
             float(rng.uniform(0.05, 0.95)), seed=trial,
         )
+        mode = ("stream", "unit", "tile")[trial % 3]
         check_matches_reference(
-            mask, int(rng.integers(0, 3)), int(rng.integers(0, 3)), int(rng.integers(0, 3))
+            mask, int(rng.integers(0, 3)), int(rng.integers(0, 3)),
+            int(rng.integers(0, 3)), front_mode=mode,
         )
+
+    @pytest.mark.parametrize("trial", range(10))
+    def test_batch_matches_sequential(self, trial):
+        rng = np.random.default_rng(3000 + trial)
+        lanes = int(rng.integers(1, 5))
+        c1 = int(rng.integers(1, 4))
+        c2 = int(rng.integers(1, 3))
+        d1, d2, d3 = (int(rng.integers(0, 4)) for _ in range(3))
+        wrap = bool(trial % 2)
+        masks = []
+        for i in range(int(rng.integers(1, 7))):
+            t_steps = int(rng.integers(1, 16))
+            # Force occasional all-zero tiles: the batch kernel short-cuts
+            # them to the pure drain and must still agree with sequential.
+            density = 0.0 if i % 4 == 3 else float(rng.uniform(0.0, 1.0))
+            masks.append(make_mask(t_steps, lanes, c1, c2, density, seed=i))
+        check_batch_matches_sequential(masks, d1, d2, d3, lane_wrap=wrap)
+
+    def test_no_borrowing_fast_path_matches_reference(self):
+        # d2 == d3 == 0 takes the closed-form path; pin it to the oracle
+        # including the recorded schedule.
+        for trial in range(6):
+            rng = np.random.default_rng(4000 + trial)
+            mask = make_mask(
+                int(rng.integers(2, 12)), int(rng.integers(1, 5)),
+                int(rng.integers(1, 4)), int(rng.integers(1, 3)),
+                float(rng.uniform(0.0, 1.0)), seed=trial,
+            )
+            check_matches_reference(mask, int(rng.integers(0, 4)), 0, 0)
+
+    def test_batch_of_one_matches_single(self):
+        mask = make_mask(9, 4, 3, 2, 0.4, seed=7)
+        single = compact_schedule(mask, 2, 1, 1)
+        (bat,) = compact_schedule_batch([mask], 2, 1, 1)
+        assert (bat.cycles, bat.busy_cycles, bat.executed_ops, bat.borrowed_ops) == (
+            single.cycles, single.busy_cycles, single.executed_ops,
+            single.borrowed_ops,
+        )
+
+    def test_batch_empty_list(self):
+        assert compact_schedule_batch([], 2, 1, 1) == []

@@ -17,8 +17,8 @@ DOCS = REPO_ROOT / "docs"
 
 
 def test_docs_suite_exists():
-    for name in ("architecture.md", "caching.md", "figures.md", "search.md",
-                 "workloads.md"):
+    for name in ("architecture.md", "benchmarks.md", "caching.md",
+                 "figures.md", "search.md", "workloads.md"):
         assert (DOCS / name).is_file(), f"docs/{name} is missing"
 
 

@@ -1,0 +1,592 @@
+#!/usr/bin/env python
+"""Perf-trajectory regression gate over committed BENCH snapshots.
+
+``tools/bench_report.py`` measures where evaluation time goes; this tool
+turns those measurements into a *committed trajectory* and a CI gate:
+
+* ``snapshot`` runs the benchmark suite ``--repeats`` times (min-of-N per
+  module, each repeat against a fresh cold cache), measures a
+  machine-speed calibration probe, and writes the next numbered snapshot
+  under ``benchmarks/history/`` (results + workload fingerprints + meta).
+  Committing that file is how a PR publishes its perf claim.
+* ``run`` performs the same measurement and compares it against the most
+  recent committed snapshot: per-module wall-time budgets **fail** the
+  gate on a >20% regression and **warn** on >10%, noise-floored by the
+  min-of-N repeats, an absolute-seconds slack, and the calibration-probe
+  ratio (so a slower CI runner does not fail the gate by being slower at
+  everything).  A module that failed, or that vanished from the current
+  run, fails the gate outright -- a broken benchmark must never read as a
+  fast one.  The comparison is emitted as a markdown trend table
+  (``BENCH_trend.md``) for the CI artifact.
+* ``check CURRENT BASELINE`` compares two already-written report/snapshot
+  files without executing anything (what the unit tests and docs drive).
+
+Run from the repo root::
+
+    python tools/bench_gate.py snapshot --label my-change --repeats 3
+    python tools/bench_gate.py run --repeats 3
+    python tools/bench_gate.py check BENCH_results.json benchmarks/history/0001-*.json
+
+Exit status: 0 on pass/warn, 1 on fail (or on a malformed snapshot).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import re
+import subprocess
+import sys
+import tempfile
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+HISTORY_DIR = REPO_ROOT / "benchmarks" / "history"
+DEFAULT_TREND = REPO_ROOT / "BENCH_trend.md"
+
+#: Gate thresholds: relative regression that warns / fails, and the
+#: absolute per-module slack (seconds, at snapshot machine speed) a
+#: regression must also exceed -- sub-second jitter on a 2 s module is
+#: noise, not a regression.
+WARN_PCT = 0.10
+FAIL_PCT = 0.20
+ABS_FLOOR_S = 1.0
+
+#: Snapshot schema version (the ``meta.schema`` field).
+SNAPSHOT_SCHEMA = "bench-snapshot-v1"
+
+_REQUIRED_RESULT_KEYS = {"module", "passed", "returncode", "wall_s", "cache", "summary"}
+_REQUIRED_REPORT_KEYS = {
+    "total_wall_s", "modules_passed", "modules_failed", "python", "results",
+}
+_REQUIRED_META_KEYS = {"schema", "label", "created", "repeats", "calibration_s"}
+
+
+# ---------------------------------------------------------------------------
+# Schema validation
+
+
+def validate_report(report: object) -> list[str]:
+    """Structural errors in a BENCH_results.json payload (empty = valid)."""
+    errors: list[str] = []
+    if not isinstance(report, dict):
+        return [f"report must be an object, got {type(report).__name__}"]
+    missing = _REQUIRED_REPORT_KEYS - set(report)
+    if missing:
+        errors.append(f"report is missing keys {sorted(missing)}")
+    results = report.get("results")
+    if not isinstance(results, list) or not results:
+        errors.append("report.results must be a non-empty list")
+        return errors
+    seen: set[str] = set()
+    for index, record in enumerate(results):
+        if not isinstance(record, dict):
+            errors.append(f"results[{index}] must be an object")
+            continue
+        missing = _REQUIRED_RESULT_KEYS - set(record)
+        if missing:
+            errors.append(f"results[{index}] is missing keys {sorted(missing)}")
+            continue
+        module = record["module"]
+        if not isinstance(module, str) or not module:
+            errors.append(f"results[{index}].module must be a non-empty string")
+            continue
+        if module in seen:
+            errors.append(f"duplicate module record {module!r}")
+        seen.add(module)
+        if not isinstance(record["passed"], bool):
+            errors.append(f"{module}: passed must be a bool")
+        wall = record["wall_s"]
+        if not isinstance(wall, (int, float)) or isinstance(wall, bool) or wall < 0:
+            errors.append(f"{module}: wall_s must be a non-negative number")
+    failed_list = report.get("failed")
+    if failed_list is not None:
+        actual = sorted(
+            r["module"] for r in results
+            if isinstance(r, dict) and not r.get("passed", False)
+        )
+        if sorted(failed_list) != actual:
+            errors.append(
+                f"report.failed {sorted(failed_list)} disagrees with the "
+                f"per-module records {actual}"
+            )
+    return errors
+
+
+def validate_snapshot(snapshot: object) -> list[str]:
+    """Structural errors in a committed history snapshot (empty = valid)."""
+    if not isinstance(snapshot, dict):
+        return [f"snapshot must be an object, got {type(snapshot).__name__}"]
+    errors: list[str] = []
+    meta = snapshot.get("meta")
+    if not isinstance(meta, dict):
+        errors.append("snapshot.meta must be an object")
+    else:
+        missing = _REQUIRED_META_KEYS - set(meta)
+        if missing:
+            errors.append(f"snapshot.meta is missing keys {sorted(missing)}")
+        if meta.get("schema") not in (None, SNAPSHOT_SCHEMA):
+            errors.append(
+                f"unknown snapshot schema {meta.get('schema')!r} "
+                f"(this tool reads {SNAPSHOT_SCHEMA})"
+            )
+        calibration = meta.get("calibration_s")
+        if calibration is not None and (
+            not isinstance(calibration, (int, float)) or calibration <= 0
+        ):
+            errors.append("snapshot.meta.calibration_s must be a positive number")
+    if "report" not in snapshot:
+        errors.append("snapshot.report is missing")
+    else:
+        errors.extend(validate_report(snapshot["report"]))
+    workloads = snapshot.get("workloads")
+    if workloads is not None and not isinstance(workloads, dict):
+        errors.append("snapshot.workloads must be an object when present")
+    return errors
+
+
+# ---------------------------------------------------------------------------
+# Measurement: min-of-N merged reports + the calibration probe
+
+
+def merge_min_of_n(reports: list[dict]) -> dict:
+    """Merge repeated bench reports, keeping the minimum wall per module.
+
+    The min-of-N is the noise floor: scheduler jitter and cache-cold disk
+    variance only ever make a run *slower*, so the fastest repeat is the
+    best estimate of the code's true cost.  A module must pass in every
+    repeat to count as passing; the failing repeat's record (and error)
+    wins otherwise.
+    """
+    if not reports:
+        raise ValueError("need at least one report to merge")
+    merged: dict[str, dict] = {}
+    order: list[str] = []
+    for report in reports:
+        for record in report["results"]:
+            module = record["module"]
+            if module not in merged:
+                merged[module] = dict(record)
+                merged[module]["wall_all"] = [record["wall_s"]]
+                order.append(module)
+                continue
+            best = merged[module]
+            best["wall_all"].append(record["wall_s"])
+            if not record["passed"]:
+                failed = dict(record)
+                failed["wall_all"] = best["wall_all"]
+                merged[module] = failed
+            elif best["passed"] and record["wall_s"] < best["wall_s"]:
+                wall_all = best["wall_all"]
+                merged[module] = dict(record)
+                merged[module]["wall_all"] = wall_all
+    records = [merged[module] for module in order]
+    base = dict(reports[0])
+    base.update(
+        total_wall_s=round(sum(r["wall_s"] for r in records), 3),
+        modules_passed=sum(r["passed"] for r in records),
+        modules_failed=sum(not r["passed"] for r in records),
+        failed=sorted(r["module"] for r in records if not r["passed"]),
+        repeats=len(reports),
+        results=records,
+    )
+    return base
+
+
+def calibration_probe(repeats: int = 3) -> float:
+    """Seconds for a fixed python+numpy workload on this machine.
+
+    The probe mirrors the simulator's execution profile -- a Python loop
+    dispatching small-array numpy kernels -- but is frozen here, so its
+    wall time tracks machine speed, never the code under test.  Budgets
+    scale by the probe ratio, letting a snapshot from one machine gate a
+    run on another.
+    """
+    import numpy as np
+
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        rng = np.random.default_rng(20220101)
+        acc = 0.0
+        for _ in range(40):
+            block = rng.random((48, 192))
+            acc += float(np.sort(block, axis=1)[:, -5:].sum())
+            ranks = np.argsort(block, axis=None)
+            acc += float(ranks[:64].sum())
+        total = 0
+        for i in range(150_000):
+            total += (i * i) % 97
+        acc += total
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def measure(repeats: int, modules: list[str], timeout: float) -> dict:
+    """Run bench_report ``repeats`` times (fresh cold cache each) and merge."""
+    from bench_report import main as bench_report_main  # same directory
+
+    reports = []
+    for repeat in range(repeats):
+        with tempfile.TemporaryDirectory(prefix="repro-bench-gate-") as tmp:
+            output = Path(tmp) / "BENCH_results.json"
+            argv = ["--output", str(output), "--timeout", str(timeout)]
+            for token in modules:
+                argv += ["--module", token]
+            print(f"== bench repeat {repeat + 1}/{repeats} ==", flush=True)
+            bench_report_main(argv)
+            with open(output) as handle:
+                reports.append(json.load(handle))
+            workloads_path = output.parent / "BENCH_workloads.json"
+            workloads = None
+            if workloads_path.exists():
+                with open(workloads_path) as handle:
+                    workloads = json.load(handle)
+    merged = merge_min_of_n(reports)
+    merged["_workloads"] = workloads
+    return merged
+
+
+# ---------------------------------------------------------------------------
+# Comparison
+
+
+@dataclass(frozen=True)
+class ModuleTrend:
+    """One row of the trend table."""
+
+    module: str
+    status: str  # ok | warn | fail | failed | missing | new
+    baseline_s: float | None
+    current_s: float | None
+    note: str = ""
+
+    @property
+    def ratio(self) -> float | None:
+        if self.baseline_s and self.current_s is not None:
+            return self.current_s / self.baseline_s
+        return None
+
+
+@dataclass(frozen=True)
+class GateResult:
+    """Outcome of comparing a current report against a baseline snapshot."""
+
+    status: str  # pass | warn | fail
+    rows: tuple[ModuleTrend, ...]
+    baseline_label: str
+    scale: float
+    notes: tuple[str, ...] = field(default_factory=tuple)
+
+    @property
+    def ok(self) -> bool:
+        return self.status != "fail"
+
+
+def compare(
+    current: dict,
+    snapshot: dict,
+    current_calibration_s: float | None = None,
+    warn_pct: float = WARN_PCT,
+    fail_pct: float = FAIL_PCT,
+    abs_floor_s: float = ABS_FLOOR_S,
+) -> GateResult:
+    """Gate a current report against a committed baseline snapshot.
+
+    Budgets are per module: baseline wall time scaled by the calibration
+    ratio (current probe / snapshot probe).  A regression fails only when
+    it exceeds the relative threshold *and* the absolute floor -- min-of-N
+    noise on short modules must not flip the gate.
+    """
+    errors = validate_snapshot(snapshot)
+    if errors:
+        raise ValueError("malformed baseline snapshot: " + "; ".join(errors))
+    errors = validate_report(current)
+    if errors:
+        raise ValueError("malformed current report: " + "; ".join(errors))
+
+    meta = snapshot["meta"]
+    baseline = {r["module"]: r for r in snapshot["report"]["results"]}
+    measured = {r["module"]: r for r in current["results"]}
+
+    scale = 1.0
+    notes: list[str] = []
+    if current_calibration_s and meta.get("calibration_s"):
+        scale = current_calibration_s / meta["calibration_s"]
+        notes.append(
+            f"machine calibration: baseline probe {meta['calibration_s']:.3f}s, "
+            f"current probe {current_calibration_s:.3f}s, scale x{scale:.2f}"
+        )
+
+    rows: list[ModuleTrend] = []
+    worst = "pass"
+
+    def escalate(to: str) -> None:
+        nonlocal worst
+        ladder = {"pass": 0, "warn": 1, "fail": 2}
+        if ladder[to] > ladder[worst]:
+            worst = to
+
+    for module, base in baseline.items():
+        if not base["passed"]:
+            # A baseline that itself failed carries no budget; report-only.
+            rows.append(ModuleTrend(module, "new", None,
+                                    measured.get(module, {}).get("wall_s"),
+                                    "baseline record had failed"))
+            continue
+        budget = base["wall_s"] * scale
+        record = measured.get(module)
+        if record is None:
+            rows.append(ModuleTrend(module, "missing", budget, None,
+                                    "module vanished from the current run"))
+            escalate("fail")
+            continue
+        if not record["passed"]:
+            why = (record.get("error") or record.get("summary") or "").strip()
+            first = why.splitlines()[-1] if why else "failed"
+            rows.append(ModuleTrend(module, "failed", budget, record["wall_s"], first))
+            escalate("fail")
+            continue
+        wall = record["wall_s"]
+        over = wall - budget
+        if budget > 0 and over > abs_floor_s and wall > budget * (1 + fail_pct):
+            rows.append(ModuleTrend(module, "fail", budget, wall,
+                                    f"+{over:.2f}s over budget"))
+            escalate("fail")
+        elif budget > 0 and over > abs_floor_s and wall > budget * (1 + warn_pct):
+            rows.append(ModuleTrend(module, "warn", budget, wall,
+                                    f"+{over:.2f}s over budget"))
+            escalate("warn")
+        else:
+            rows.append(ModuleTrend(module, "ok", budget, wall))
+    for module, record in measured.items():
+        if module in baseline:
+            continue
+        status = "failed" if not record["passed"] else "new"
+        if status == "failed":
+            escalate("fail")
+        rows.append(ModuleTrend(module, status, None, record["wall_s"],
+                                "not in baseline snapshot"))
+
+    return GateResult(
+        status=worst,
+        rows=tuple(rows),
+        baseline_label=str(meta.get("label", "?")),
+        scale=scale,
+        notes=tuple(notes),
+    )
+
+
+_STATUS_ICON = {
+    "ok": "✅", "warn": "⚠️", "fail": "❌", "failed": "💥",
+    "missing": "❌", "new": "🆕",
+}
+
+
+def trend_table(result: GateResult) -> str:
+    """The markdown trend table CI uploads as a PR artifact."""
+    lines = [
+        f"## Bench gate: **{result.status.upper()}** "
+        f"(baseline `{result.baseline_label}`)",
+        "",
+    ]
+    for note in result.notes:
+        lines.append(f"_{note}_")
+        lines.append("")
+    lines += [
+        "| module | baseline budget (s) | current (s) | ratio | status |",
+        "|---|---:|---:|---:|---|",
+    ]
+    for row in sorted(result.rows, key=lambda r: r.module):
+        base = f"{row.baseline_s:.2f}" if row.baseline_s is not None else "–"
+        cur = f"{row.current_s:.2f}" if row.current_s is not None else "–"
+        ratio = f"x{row.ratio:.2f}" if row.ratio is not None else "–"
+        icon = _STATUS_ICON.get(row.status, "?")
+        note = f" {row.note}" if row.note else ""
+        lines.append(
+            f"| {row.module} | {base} | {cur} | {ratio} | {icon} {row.status}{note} |"
+        )
+    lines += [
+        "",
+        f"Thresholds: fail >{FAIL_PCT:.0%}, warn >{WARN_PCT:.0%}, "
+        f"absolute floor {ABS_FLOOR_S:.1f}s; budgets are min-of-N walls "
+        "scaled by the machine-calibration probe.",
+        "",
+    ]
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# History
+
+
+def history_snapshots(history_dir: Path) -> list[Path]:
+    """Committed snapshots, oldest first (numeric filename prefix)."""
+    return sorted(history_dir.glob("[0-9][0-9][0-9][0-9]-*.json"))
+
+
+def latest_snapshot(history_dir: Path) -> Path | None:
+    snapshots = history_snapshots(history_dir)
+    return snapshots[-1] if snapshots else None
+
+
+def next_snapshot_path(history_dir: Path, label: str) -> Path:
+    slug = re.sub(r"[^a-z0-9]+", "-", label.lower()).strip("-") or "snapshot"
+    snapshots = history_snapshots(history_dir)
+    number = 1
+    if snapshots:
+        number = int(snapshots[-1].name.split("-", 1)[0]) + 1
+    return history_dir / f"{number:04d}-{slug}.json"
+
+
+def _git_commit() -> str | None:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=REPO_ROOT, capture_output=True, text=True, timeout=10,
+        )
+        return out.stdout.strip() or None
+    except OSError:
+        return None
+
+
+def build_snapshot(report: dict, label: str, calibration_s: float) -> dict:
+    workloads = report.pop("_workloads", None)
+    return {
+        "meta": {
+            "schema": SNAPSHOT_SCHEMA,
+            "label": label,
+            "created": time.strftime("%Y-%m-%d"),
+            "commit": _git_commit(),
+            "repeats": report.get("repeats", 1),
+            "calibration_s": round(calibration_s, 4),
+        },
+        "report": report,
+        "workloads": workloads,
+    }
+
+
+# ---------------------------------------------------------------------------
+# CLI
+
+
+def _load_json(path: str | Path) -> dict:
+    with open(path) as handle:
+        return json.load(handle)
+
+
+def _as_snapshot(payload: dict) -> dict:
+    """Accept either a raw report or a full snapshot as the baseline."""
+    if "report" in payload and "meta" in payload:
+        return payload
+    return {
+        "meta": {
+            "schema": SNAPSHOT_SCHEMA, "label": "raw-report",
+            "created": "?", "repeats": payload.get("repeats", 1),
+            "calibration_s": None,
+        },
+        "report": payload,
+        "workloads": None,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument("--repeats", type=int, default=3,
+                        help="min-of-N benchmark repeats (default 3)")
+    common.add_argument("--module", action="append", default=[],
+                        help="restrict to modules containing this token")
+    common.add_argument("--timeout", type=float, default=1800.0,
+                        help="per-module timeout in seconds")
+    common.add_argument("--history", default=str(HISTORY_DIR),
+                        help="snapshot directory (default benchmarks/history)")
+
+    run = sub.add_parser("run", parents=[common],
+                         help="measure and gate against the latest snapshot")
+    run.add_argument("--trend", default=str(DEFAULT_TREND),
+                     help="markdown trend table output path")
+    run.add_argument("--report-out", default=None,
+                     help="also write the merged min-of-N report JSON here")
+
+    snap = sub.add_parser("snapshot", parents=[common],
+                          help="measure and write the next history snapshot")
+    snap.add_argument("--label", required=True,
+                      help="snapshot label, e.g. 'pre-vectorization'")
+
+    check = sub.add_parser("check", help="compare two existing files, no runs")
+    check.add_argument("current", help="BENCH_results.json (or snapshot) path")
+    check.add_argument("baseline", help="baseline snapshot path")
+    check.add_argument("--calibration", type=float, default=None,
+                       help="current-machine probe seconds (default: measure)")
+    check.add_argument("--trend", default=str(DEFAULT_TREND))
+
+    args = parser.parse_args(argv)
+    sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+    if args.command == "check":
+        current_payload = _load_json(args.current)
+        current = (current_payload["report"]
+                   if "report" in current_payload and "meta" in current_payload
+                   else current_payload)
+        snapshot = _as_snapshot(_load_json(args.baseline))
+        calibration = args.calibration
+        if calibration is None and snapshot["meta"].get("calibration_s"):
+            calibration = calibration_probe()
+        result = compare(current, snapshot, calibration)
+        table = trend_table(result)
+        Path(args.trend).write_text(table)
+        print(table)
+        return 0 if result.ok else 1
+
+    history_dir = Path(args.history)
+    report = measure(args.repeats, args.module, args.timeout)
+    calibration = calibration_probe()
+    print(f"calibration probe: {calibration:.3f}s")
+
+    if args.command == "snapshot":
+        history_dir.mkdir(parents=True, exist_ok=True)
+        snapshot = build_snapshot(report, args.label, calibration)
+        errors = validate_snapshot(snapshot)
+        if errors:
+            print("refusing to write malformed snapshot:", file=sys.stderr)
+            for error in errors:
+                print(f"  - {error}", file=sys.stderr)
+            return 1
+        path = next_snapshot_path(history_dir, args.label)
+        with open(path, "w") as handle:
+            json.dump(snapshot, handle, indent=2)
+            handle.write("\n")
+        failed = snapshot["report"]["failed"]
+        print(f"wrote {path.relative_to(REPO_ROOT)} "
+              f"({snapshot['report']['modules_passed']} modules, "
+              f"min-of-{args.repeats}, {len(failed)} failed)")
+        return 0 if not failed else 1
+
+    # run: gate against the latest committed snapshot.
+    latest = latest_snapshot(history_dir)
+    if args.report_out:
+        slim = {k: v for k, v in report.items() if k != "_workloads"}
+        with open(args.report_out, "w") as handle:
+            json.dump(slim, handle, indent=2)
+    if latest is None:
+        print(f"no snapshot under {history_dir}; commit one with "
+              f"'python tools/bench_gate.py snapshot --label <label>'",
+              file=sys.stderr)
+        return 1
+    snapshot = _load_json(latest)
+    result = compare(report, snapshot, calibration)
+    table = trend_table(result)
+    Path(args.trend).write_text(table)
+    print(table)
+    print(f"gate vs {latest.name}: {result.status.upper()}")
+    return 0 if result.ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -8,8 +8,10 @@ session (dumped by the ``REPRO_BENCH_STATS_JSON`` hook in
 ``benchmarks/conftest.py``).  All modules share one persistent cache
 directory (``REPRO_BENCH_CACHE_DIR``), so the per-module hit rates record
 the warm-up trajectory: early modules simulate, later ones read.  A module
-that raises (or whose subprocess dies) is recorded as failed with a
-warning and the run continues, so partial trajectories always land.
+that raises (or whose subprocess dies) is recorded as failed -- with the
+failing output preserved in its record's ``error`` field and its name in
+the top-level ``failed`` list -- and the run continues, so partial
+trajectories always land and a downstream gate sees exactly what broke.
 
 Alongside the trajectory it writes ``BENCH_workloads.json``: one record
 per workload the bench run can exercise -- every registry preset plus
@@ -71,6 +73,7 @@ def run_module(path: Path, cache_dir: str, timeout: float) -> dict:
         ).rstrip(os.pathsep),
     )
     started = time.perf_counter()
+    error: str | None = None
     try:
         proc = subprocess.run(
             [sys.executable, "-m", "pytest", str(path), "-q", "--no-header",
@@ -83,9 +86,18 @@ def run_module(path: Path, cache_dir: str, timeout: float) -> dict:
         )
         returncode = proc.returncode
         tail = "\n".join(proc.stdout.strip().splitlines()[-3:])
+        if returncode != 0:
+            # Record *why* in the report, not just on the console: the last
+            # pytest output lines plus any stderr tail.  Without this a
+            # failing module shows up as a bare FAIL row and a downstream
+            # gate cannot distinguish "slow" from "broken".
+            err_lines = (proc.stdout.strip().splitlines()[-15:]
+                         + proc.stderr.strip().splitlines()[-5:])
+            error = "\n".join(line for line in err_lines if line)
     except subprocess.TimeoutExpired:
         returncode = -1
         tail = f"timed out after {timeout:.0f}s"
+        error = tail
     wall_s = time.perf_counter() - started
 
     cache: dict | None = None
@@ -107,6 +119,7 @@ def run_module(path: Path, cache_dir: str, timeout: float) -> dict:
         "wall_s": round(wall_s, 3),
         "cache": cache,
         "summary": tail,
+        "error": error,
     }
 
 
@@ -183,6 +196,7 @@ def main(argv: list[str] | None = None) -> int:
                     "wall_s": 0.0,
                     "cache": None,
                     "summary": f"runner error: {exc}",
+                    "error": f"{type(exc).__name__}: {exc}",
                 }
             status = "ok " if record["passed"] else "FAIL"
             hits = (record["cache"] or {}).get("hits", "?")
@@ -200,6 +214,10 @@ def main(argv: list[str] | None = None) -> int:
         "total_wall_s": round(sum(r["wall_s"] for r in records), 3),
         "modules_passed": sum(r["passed"] for r in records),
         "modules_failed": sum(not r["passed"] for r in records),
+        # Failures stay first-class in the report (name + why), so a
+        # downstream regression gate can fail loudly instead of letting a
+        # broken module silently vanish from the comparison.
+        "failed": sorted(r["module"] for r in records if not r["passed"]),
         "full_eval": os.environ.get("REPRO_FULL_EVAL", "0") == "1",
         "python": sys.version.split()[0],
         "results": records,
