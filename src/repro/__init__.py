@@ -44,6 +44,7 @@ from repro.dse.evaluate import (
     Design,
     GriffinDesign,
     as_design,
+    design_fingerprint,
     evaluate_design,
     parse_design,
 )
@@ -126,6 +127,7 @@ __all__ = [
     "BaselineDesign",
     "as_design",
     "parse_design",
+    "design_fingerprint",
     "evaluate_design",
     "HardwareOverhead",
     "overhead_of",

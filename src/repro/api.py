@@ -57,6 +57,7 @@ from __future__ import annotations
 
 import json
 import os
+import threading
 from contextlib import contextmanager
 from dataclasses import dataclass, field, replace
 from pathlib import Path
@@ -390,7 +391,14 @@ class Session:
         settings: default :class:`EvalSettings` for calls that omit them.
         chunk_size: design points per parallel task (defaults to
             :func:`repro.runtime.runner.default_chunk_size`).
-        progress: optional ``(done, total)`` callback.
+        progress: optional ``(done, total)`` callback (every evaluating
+            method also takes a per-call ``progress=`` override, so
+            concurrent callers can each observe their own run).
+        keep_pool: keep one warm :class:`SweepRunner` process pool alive
+            across calls instead of spinning one up per ``evaluate`` --
+            what a long-lived ``repro serve`` session uses.  Call
+            :meth:`close` (or use the session as a context manager) to
+            release the pool.
 
     The session accumulates persistent-cache activity across all of its
     calls in :attr:`stats` (unified across the network and layer tiers;
@@ -399,6 +407,14 @@ class Session:
     engine-wide for the duration of the block (so direct
     ``simulate_network`` calls inside also hit it) and restores the
     previous state on exit.
+
+    A session is safe to share across threads (the ``repro serve``
+    deployment: one warm session answering many concurrent requests).
+    The engine-wide cache installation is reference-counted under a lock,
+    so overlapping serial evaluations keep the same session cache
+    installed until the last one finishes; note that per-call
+    ``cache_stats`` deltas then attribute concurrent activity to every
+    overlapping call, while :attr:`stats` totals stay exact.
     """
 
     def __init__(
@@ -409,6 +425,7 @@ class Session:
         settings: EvalSettings | None = None,
         chunk_size: int | None = None,
         progress: ProgressFn | None = None,
+        keep_pool: bool = False,
     ) -> None:
         if workers < 0:
             raise ValueError(f"workers must be >= 0, got {workers}")
@@ -416,6 +433,7 @@ class Session:
         self.settings = settings or EvalSettings()
         self.chunk_size = chunk_size
         self.progress = progress
+        self.keep_pool = keep_pool
         self.stats = CacheStats()
         self._inherit = False
         if use_cache is True:
@@ -433,7 +451,10 @@ class Session:
             raise ValueError(
                 f"use_cache must be True, False or {INHERIT!r}, got {use_cache!r}"
             )
-        self._entered: list[object] = []
+        self._state_lock = threading.RLock()
+        self._install_depth = 0
+        self._install_prev: object = None
+        self._runner: SweepRunner | None = None
 
     @property
     def cache(self) -> PersistentLayerCache | None:
@@ -444,14 +465,34 @@ class Session:
     # Context management: session-scoped cache installation.
     # ------------------------------------------------------------------
 
+    def _install(self) -> None:
+        """Reference-counted engine-wide installation of the session cache.
+
+        The first concurrent caller installs, the last one restores --
+        so overlapping evaluations from different threads of one shared
+        session never clobber each other's view of the engine cache.
+        """
+        with self._state_lock:
+            if self._install_depth == 0:
+                self._install_prev = engine.set_persistent_cache(self._cache)
+            self._install_depth += 1
+
+    def _uninstall(self) -> None:
+        with self._state_lock:
+            self._install_depth -= 1
+            if self._install_depth == 0:
+                engine.set_persistent_cache(self._install_prev)  # type: ignore[arg-type]
+                self._install_prev = None
+
     def __enter__(self) -> "Session":
         if not self._inherit:
-            self._entered.append(engine.set_persistent_cache(self._cache))
+            self._install()
         return self
 
     def __exit__(self, *exc_info: object) -> None:
         if not self._inherit:
-            engine.set_persistent_cache(self._entered.pop())
+            self._uninstall()
+        self.close()
 
     @contextmanager
     def _scoped(self) -> Iterator[None]:
@@ -459,8 +500,22 @@ class Session:
         if self._inherit:
             yield
             return
-        with engine.persistent_cache(self._cache):
+        self._install()
+        try:
             yield
+        finally:
+            self._uninstall()
+
+    def close(self) -> None:
+        """Release the warm worker pool, if one is alive (idempotent).
+
+        Only meaningful with ``keep_pool=True``; a later ``evaluate``
+        lazily recreates the pool, so a closed session stays usable.
+        """
+        with self._state_lock:
+            runner, self._runner = self._runner, None
+        if runner is not None:
+            runner.close()
 
     def _snapshot(self) -> CacheStats | None:
         return self._cache.stats.snapshot() if self._cache is not None else None
@@ -470,8 +525,22 @@ class Session:
         if before is None:
             return CacheStats()
         delta = self._cache.stats.delta(before)
-        self.stats.merge(delta)
+        with self._state_lock:
+            self.stats.merge(delta)
         return delta
+
+    def _ensure_runner(self) -> SweepRunner:
+        """The session's (lazily created, reusable) parallel runner."""
+        with self._state_lock:
+            if self._runner is None:
+                self._runner = SweepRunner(
+                    workers=self.workers,
+                    cache_dir=self.cache_dir,
+                    use_cache=self._cache is not None,
+                    chunk_size=self.chunk_size,
+                    keep_pool=self.keep_pool,
+                )
+            return self._runner
 
     # ------------------------------------------------------------------
     # Evaluation.
@@ -483,11 +552,13 @@ class Session:
         categories: Sequence[ModelCategory],
         settings: EvalSettings | None = None,
         networks: Sequence[WorkloadLike] | None = None,
+        progress: ProgressFn | None = None,
     ) -> SweepOutcome:
         """Evaluate every design on every category, order-preserving.
 
         With ``workers > 1`` the designs fan out over a process pool
-        through :class:`SweepRunner`; results are bitwise-identical to the
+        through :class:`SweepRunner` (one warm pool reused across calls
+        under ``keep_pool=True``); results are bitwise-identical to the
         serial loop either way, and all paths share the session's
         persistent cache directory.
 
@@ -498,26 +569,26 @@ class Session:
         *objects* (not bare registered names) for programmatically built
         networks in parallel runs -- worker processes resolve string
         tokens themselves and do not see this process's registry.
+
+        ``progress`` overrides the session-wide callback for this call
+        only (how ``repro serve`` streams per-request progress).
         """
         resolved = tuple(as_design(design) for design in designs)
         categories = tuple(categories)
         settings = settings or self.settings
+        progress = progress if progress is not None else self.progress
         if networks is not None:
             settings = replace(settings, networks=tuple(networks))
         if not resolved:
             return SweepOutcome((), CacheStats(), self.workers, 0)
         if self.workers <= 1 or self._inherit:
-            outcome = self._evaluate_serial(resolved, categories, settings)
+            outcome = self._evaluate_serial(resolved, categories, settings, progress)
         else:
-            runner = SweepRunner(
-                workers=self.workers,
-                cache_dir=self.cache_dir,
-                use_cache=self._cache is not None,
-                chunk_size=self.chunk_size,
-                progress=self.progress,
+            outcome = self._ensure_runner().run(
+                resolved, categories, settings, progress=progress
             )
-            outcome = runner.run(resolved, categories, settings)
-            self.stats.merge(outcome.cache_stats)
+            with self._state_lock:
+                self.stats.merge(outcome.cache_stats)
         return outcome
 
     def _evaluate_serial(
@@ -525,14 +596,15 @@ class Session:
         designs: tuple[Design, ...],
         categories: tuple[ModelCategory, ...],
         settings: EvalSettings,
+        progress: ProgressFn | None = None,
     ) -> SweepOutcome:
         before = self._snapshot()
         evaluations = []
         with self._scoped():
             for done, design in enumerate(designs, start=1):
                 evaluations.append(evaluate_design(design, categories, settings))
-                if self.progress is not None:
-                    self.progress(done, len(designs))
+                if progress is not None:
+                    progress(done, len(designs))
         return SweepOutcome(
             tuple(evaluations), self._absorb(before), self.workers, 1
         )
@@ -545,7 +617,8 @@ class Session:
     ) -> DesignEvaluation:
         """Evaluate a single design (always serial, through the cache)."""
         return self._evaluate_serial(
-            (as_design(design),), tuple(categories), settings or self.settings
+            (as_design(design),), tuple(categories), settings or self.settings,
+            self.progress,
         ).evaluations[0]
 
     def simulate(
@@ -580,11 +653,13 @@ class Session:
         self,
         spec: "ExperimentSpec | Mapping | str | os.PathLike",
         quick: bool | None = None,
+        progress: ProgressFn | None = None,
     ) -> ExperimentResult:
         """Run a declarative experiment (spec object, dict, or JSON path).
 
         ``quick`` overrides the spec's sampling (see
-        :meth:`ExperimentSpec.eval_settings`).
+        :meth:`ExperimentSpec.eval_settings`); ``progress`` overrides the
+        session-wide callback for this call only.
         """
         spec = ExperimentSpec.coerce(spec)
         categories = spec.resolve_categories()
@@ -595,6 +670,7 @@ class Session:
                 spec.resolve_designs(),
                 categories,
                 spec.eval_settings(quick=quick),
+                progress=progress,
             ),
         )
 
@@ -609,6 +685,7 @@ class Session:
         quick: bool | None = None,
         checkpoint: str | os.PathLike | None = None,
         resume: bool = False,
+        progress: ProgressFn | None = None,
     ) -> SearchResult:
         """Run a guided design-space search (see ``docs/search.md``).
 
@@ -684,13 +761,15 @@ class Session:
         categories = objectives.categories
         grid_size = len(space)
 
+        report = progress if progress is not None else self.progress
+
         def evaluate_batch(configs):
             outcome = self.evaluate(list(configs), categories, settings)
             return outcome.evaluations, outcome.cache_stats
 
-        def progress(evaluated: int, cap: int | None) -> None:
-            if self.progress is not None:
-                self.progress(evaluated, cap if cap is not None else grid_size)
+        def loop_progress(evaluated: int, cap: int | None) -> None:
+            if report is not None:
+                report(evaluated, cap if cap is not None else grid_size)
 
         checkpoint_fn = None
         if checkpoint is not None:
@@ -702,7 +781,7 @@ class Session:
             objectives,
             archive,
             budget=budget,
-            progress=progress,
+            progress=loop_progress,
             checkpoint=checkpoint_fn,
         )
         if checkpoint_fn is not None:

@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Seven subcommands cover the everyday questions, all driving the same
+Eight subcommands cover the everyday questions, all driving the same
 session API (:mod:`repro.api`) so every command shares the parallel
 runner and the two-tier persistent result cache (whole networks, then
 layers -- see ``docs/caching.md``):
@@ -20,7 +20,13 @@ layers -- see ``docs/caching.md``):
   ``docs/search.md``);
 * ``workloads`` -- list the workload registry, validate declarative
   WorkloadSpec JSON files, and print content fingerprints (see
-  ``docs/workloads.md``).
+  ``docs/workloads.md``);
+* ``serve``     -- the always-on evaluation service: one warm session
+  behind an HTTP+JSON API with request coalescing (see ``docs/serve.md``).
+
+``repro --version`` prints the toolkit version; ``repro --json-errors``
+switches error reporting from the one-line ``error: ...`` stderr format
+to the same JSON error envelope the server returns (``repro.errors``).
 
 Designs parse uniformly everywhere (:func:`repro.dse.evaluate.parse_design`):
 borrowing notation like ``"B(4,0,1,on)"``, ``Dense``, ``Griffin``, the
@@ -44,6 +50,7 @@ Examples::
     python -m repro workloads list
     python -m repro workloads validate examples/workloads/*.json
     python -m repro workloads fingerprint ResNet50 "BERT:weight_sparsity=0.9"
+    python -m repro serve --port 8757 --workers 4
 """
 
 from __future__ import annotations
@@ -54,8 +61,10 @@ import sys
 from dataclasses import replace
 from typing import Sequence
 
+from repro import __version__
 from repro.api import ExperimentSpec, Session
 from repro.config import ModelCategory
+from repro.errors import envelope_from_exception, print_error
 from repro.dse.evaluate import EvalSettings, parse_design
 from repro.dse.explorer import DESIGN_SPACES, design_space, space_categories, space_label
 from repro.dse.report import format_table, select_optimal, sweep_rows, sweep_table
@@ -368,9 +377,56 @@ def cmd_workloads(args: argparse.Namespace) -> int:
     return args.wl_func(args)
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the always-on evaluation service until SIGINT/SIGTERM."""
+    import asyncio
+
+    from repro.serve.app import ServeApp
+
+    session = Session(
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+        use_cache=not args.no_cache,
+        keep_pool=True,
+    )
+    app = ServeApp(
+        session,
+        compute_threads=args.compute_threads,
+        drain_timeout=args.drain_timeout,
+    )
+
+    async def serve() -> None:
+        await app.start(args.host, args.port)
+        print(
+            f"repro serve v{__version__} listening on "
+            f"http://{args.host}:{app.port} "
+            f"(workers={args.workers}, compute_threads={args.compute_threads}, "
+            f"cache={'disabled' if session.cache_dir is None else session.cache_dir})",
+            flush=True,
+        )
+        app.install_signal_handlers()
+        try:
+            await app.wait_for_shutdown_request()
+            print("repro serve: draining in-flight work...", flush=True)
+        finally:
+            await app.shutdown()
+            print("repro serve: stopped", flush=True)
+
+    asyncio.run(serve())
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="Griffin (HPCA 2022) reproduction toolkit"
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
+    )
+    parser.add_argument(
+        "--json-errors", dest="json_errors", action="store_true",
+        help="report failures as the JSON error envelope (the same shape "
+             "`repro serve` returns) instead of a one-line stderr message",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -591,6 +647,33 @@ def build_parser() -> argparse.ArgumentParser:
         help="workload tokens (names, name:override, or spec paths)",
     )
     wl_fp.set_defaults(func=cmd_workloads, wl_func=cmd_workloads_fingerprint)
+
+    serve = sub.add_parser(
+        "serve",
+        help="always-on evaluation service: one warm session behind an "
+             "HTTP+JSON API with request coalescing (docs/serve.md)",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default 127.0.0.1)"
+    )
+    serve.add_argument(
+        "--port", type=int, default=8757,
+        help="TCP port (default 8757; 0 picks a free port)",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=0,
+        help="session worker processes; 0 evaluates serially in-process",
+    )
+    serve.add_argument(
+        "--compute-threads", dest="compute_threads", type=int, default=4,
+        help="evaluation requests served concurrently (default 4)",
+    )
+    serve.add_argument(
+        "--drain-timeout", dest="drain_timeout", type=float, default=30.0,
+        help="seconds graceful shutdown waits for in-flight work (default 30)",
+    )
+    cache_flags(serve, stats_flag=False)
+    serve.set_defaults(func=cmd_serve)
     return parser
 
 
@@ -598,11 +681,11 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     try:
         return args.func(args)
-    except ValueError as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 2
-    except OSError as exc:
-        print(f"error: {exc}", file=sys.stderr)
+    except (ValueError, OSError) as exc:
+        print_error(
+            envelope_from_exception(exc),
+            as_json=getattr(args, "json_errors", False),
+        )
         return 2
 
 

@@ -25,8 +25,11 @@ deprecation cycle; see the migration table in ``docs/architecture.md``.)
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Protocol, Sequence, Union, runtime_checkable
+import hashlib
+import json
+from dataclasses import dataclass, field, fields, is_dataclass
+from enum import Enum
+from typing import Mapping, Protocol, Sequence, Union, runtime_checkable
 
 from repro.baselines.registry import BaselineArch, all_baselines, baseline_names
 from repro.config import (
@@ -351,6 +354,57 @@ def as_design(obj: DesignLike) -> Design:
         f"cannot evaluate {obj!r}: expected an ArchConfig, GriffinArch, "
         f"BaselineArch, design name, or Design implementation"
     )
+
+
+#: Bump when the canonical design serialization below changes shape, so
+#: externally stored fingerprints (serve coalesce keys, client caches)
+#: cannot silently collide across versions.
+DESIGN_FINGERPRINT_VERSION = 1
+
+
+def _canonical(value: object) -> object:
+    """JSON-stable canonical form of a design's content.
+
+    Dataclasses flatten to ``{"__class__": name, field: ...}`` in field
+    order, enums to their values, mappings to string-keyed dicts (JSON
+    serialization sorts the keys).  Anything else non-primitive falls
+    back to ``repr`` -- stable for the frozen value objects designs are
+    built from.
+    """
+    if is_dataclass(value) and not isinstance(value, type):
+        return {
+            "__class__": type(value).__name__,
+            **{f.name: _canonical(getattr(value, f.name)) for f in fields(value)},
+        }
+    if isinstance(value, Enum):
+        return value.value
+    if isinstance(value, Mapping):
+        return {str(_canonical(k)): _canonical(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        items = [_canonical(v) for v in value]
+        return sorted(items, key=repr) if isinstance(value, (set, frozenset)) else items
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+def design_fingerprint(design: DesignLike) -> str:
+    """Stable content fingerprint of a design (the architecture axis).
+
+    The dual of :func:`repro.workloads.models.network_fingerprint` on the
+    design side: two designs fingerprint identically iff their canonical
+    content -- configuration fields, calibration, cost overrides --
+    matches, independent of how the object was parsed or which process
+    built it.  ``repro serve`` coalesces concurrent requests on
+    (design fingerprints x workload fingerprints x options); see
+    ``docs/serve.md``.
+    """
+    payload = json.dumps(
+        {"v": DESIGN_FINGERPRINT_VERSION, "design": _canonical(as_design(design))},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()
 
 
 def evaluate_design(

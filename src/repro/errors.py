@@ -1,0 +1,107 @@
+"""Shared JSON error envelope for CLI verbs and server responses.
+
+Every user-facing failure path -- a CLI verb rejecting a bad design name,
+``repro serve`` answering a malformed request, the serve client surfacing
+a remote failure -- speaks one structured shape::
+
+    {"error": {"kind": "invalid-request", "message": "...", "detail": ...}}
+
+``kind`` is a stable machine-readable slug (scripts and tests branch on
+it; the message text is free to improve), ``message`` is the one-line
+human summary, and ``detail`` is an optional JSON payload with anything
+structured the failure can offer (offending token, accepted forms).
+
+The CLI keeps its historical ``error: <message>`` stderr line (derived
+from the envelope, so both surfaces can never drift apart) and switches
+to the raw JSON envelope under ``repro --json-errors`` -- what scripted
+callers parse.  The HTTP server returns the envelope as the response
+body of every non-2xx status (see ``docs/serve.md``).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import IO, Mapping
+
+#: Envelope schema version (bump on incompatible shape changes).
+ERROR_ENVELOPE_VERSION = 1
+
+#: Exception type -> default ``kind`` slug for :func:`envelope_from_exception`.
+_DEFAULT_KINDS: tuple[tuple[type[BaseException], str], ...] = (
+    (ValueError, "invalid-request"),
+    (KeyError, "invalid-request"),
+    (TypeError, "invalid-request"),
+    (TimeoutError, "timeout"),
+    (ConnectionError, "connection-error"),
+    (OSError, "io-error"),
+)
+
+
+def error_envelope(
+    kind: str, message: str, detail: object | None = None
+) -> dict:
+    """Build the shared error envelope.
+
+    ``kind`` should be a short kebab-case slug (``"invalid-request"``,
+    ``"evaluation-error"``, ``"io-error"``); ``detail`` any JSON-able
+    payload worth machine-reading, omitted from the envelope when
+    ``None``.
+    """
+    error: dict = {
+        "v": ERROR_ENVELOPE_VERSION,
+        "kind": str(kind),
+        "message": str(message),
+    }
+    if detail is not None:
+        error["detail"] = detail
+    return {"error": error}
+
+
+def envelope_from_exception(
+    exc: BaseException, kind: str | None = None, detail: object | None = None
+) -> dict:
+    """Wrap an exception, mapping its type to a default ``kind``.
+
+    ``KeyError`` string-quotes its argument in ``str()``, so the message
+    is unwrapped to the bare key for readability.
+    """
+    if kind is None:
+        kind = "internal-error"
+        for exc_type, slug in _DEFAULT_KINDS:
+            if isinstance(exc, exc_type):
+                kind = slug
+                break
+    message = str(exc) or type(exc).__name__
+    if isinstance(exc, KeyError) and exc.args:
+        message = f"missing key: {exc.args[0]}"
+    return error_envelope(kind, message, detail=detail)
+
+
+def error_message(envelope: Mapping) -> str:
+    """The envelope's human-readable message (defensive on shape)."""
+    error = envelope.get("error")
+    if not isinstance(error, Mapping):
+        return "unknown error"
+    return str(error.get("message", "unknown error"))
+
+
+def format_error(envelope: Mapping) -> str:
+    """The CLI's one-line stderr rendering: ``error: <message>``."""
+    return f"error: {error_message(envelope)}"
+
+
+def print_error(
+    envelope: Mapping, as_json: bool = False, stream: IO[str] | None = None
+) -> None:
+    """Print the envelope for a CLI consumer.
+
+    Human mode emits the stable ``error: ...`` line; ``as_json`` emits
+    the whole envelope as one JSON document (what ``repro --json-errors``
+    and the serve client's script mode produce).
+    """
+    stream = stream if stream is not None else sys.stderr
+    if as_json:
+        print(json.dumps(envelope, indent=2, sort_keys=True), file=stream)
+    else:
+        print(format_error(envelope), file=stream)

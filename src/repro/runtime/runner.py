@@ -22,7 +22,14 @@ shipped back with the results and aggregated into
 from __future__ import annotations
 
 import os
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+import threading
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    Future,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    wait,
+)
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
@@ -108,7 +115,13 @@ class SweepRunner:
         chunk_size: design points per task; defaults to
             :func:`default_chunk_size`.
         progress: optional callback invoked with (done, total) as chunks
-            complete.
+            complete (``run`` also takes a per-call override).
+        keep_pool: keep the worker process pool warm across ``run`` calls
+            instead of creating and tearing one down per call -- what a
+            long-lived service (``repro serve``) wants, since pool startup
+            dwarfs a cache-warm evaluation.  Call :meth:`close` (or use
+            the runner as a context manager) to release it; a later run
+            transparently recreates it.
     """
 
     def __init__(
@@ -118,6 +131,7 @@ class SweepRunner:
         use_cache: bool = True,
         chunk_size: int | None = None,
         progress: ProgressFn | None = None,
+        keep_pool: bool = False,
     ) -> None:
         if workers < 0:
             raise ValueError(f"workers must be >= 0, got {workers}")
@@ -130,28 +144,94 @@ class SweepRunner:
         )
         self.chunk_size = chunk_size
         self.progress = progress
+        self.keep_pool = keep_pool
+        self._lock = threading.Lock()
+        self._pool: ProcessPoolExecutor | None = None
+        self._submitter: ThreadPoolExecutor | None = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle: the warm pool and the async submission seam.
+    # ------------------------------------------------------------------
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        with self._lock:
+            if self._pool is None:
+                self._pool = ProcessPoolExecutor(
+                    max_workers=max(1, self.workers),
+                    initializer=_worker_init,
+                    initargs=(self.cache_dir,),
+                )
+            return self._pool
+
+    def close(self) -> None:
+        """Shut down the warm pool and submission threads (idempotent)."""
+        with self._lock:
+            pool, self._pool = self._pool, None
+            submitter, self._submitter = self._submitter, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+        if submitter is not None:
+            submitter.shutdown(wait=True)
+
+    def __enter__(self) -> "SweepRunner":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def submit(
+        self,
+        designs: Sequence[DesignLike],
+        categories: Sequence[ModelCategory],
+        settings: EvalSettings | None = None,
+        progress: ProgressFn | None = None,
+    ) -> "Future[SweepOutcome]":
+        """Schedule :meth:`run` on a background thread; returns a future.
+
+        The asyncio-friendly submission seam: an event loop awaits the
+        result without blocking on the (process-pool-coordinating) run
+        via ``asyncio.wrap_future(runner.submit(...))``.  Concurrent
+        submissions are fine -- each run tracks its own pending chunk
+        set, and under ``keep_pool=True`` they interleave over one warm
+        pool.
+        """
+        with self._lock:
+            if self._submitter is None:
+                self._submitter = ThreadPoolExecutor(
+                    max_workers=max(2, self.workers),
+                    thread_name_prefix="sweep-submit",
+                )
+            submitter = self._submitter
+        return submitter.submit(self.run, designs, categories, settings, progress)
 
     def run(
         self,
         designs: Sequence[DesignLike],
         categories: Sequence[ModelCategory],
         settings: EvalSettings | None = None,
+        progress: ProgressFn | None = None,
     ) -> SweepOutcome:
-        """Evaluate every design on every category; order-preserving."""
+        """Evaluate every design on every category; order-preserving.
+
+        ``progress`` overrides the runner-wide callback for this call
+        (per-request progress in a shared-runner service).
+        """
         settings = settings or EvalSettings()
+        progress = progress if progress is not None else self.progress
         resolved = tuple(as_design(design) for design in designs)
         categories = tuple(categories)
         if not resolved:
             return SweepOutcome((), CacheStats(), self.workers, 0)
         if self.workers <= 1:
-            return self._run_serial(resolved, categories, settings)
-        return self._run_parallel(resolved, categories, settings)
+            return self._run_serial(resolved, categories, settings, progress)
+        return self._run_parallel(resolved, categories, settings, progress)
 
     def _run_serial(
         self,
         designs: tuple[Design, ...],
         categories: tuple[ModelCategory, ...],
         settings: EvalSettings,
+        progress: ProgressFn | None,
     ) -> SweepOutcome:
         cache = PersistentLayerCache(self.cache_dir) if self.cache_dir is not None else None
         # Install the runner's cache -- or explicitly none, so a previously
@@ -160,7 +240,7 @@ class SweepRunner:
             evaluations = []
             for done, design in enumerate(designs, start=1):
                 evaluations.append(evaluate_design(design, categories, settings))
-                self._report(done, len(designs))
+                self._report(progress, done, len(designs))
             stats = cache.stats.snapshot() if cache is not None else CacheStats()
             return SweepOutcome(tuple(evaluations), stats, self.workers, 1)
 
@@ -169,17 +249,22 @@ class SweepRunner:
         designs: tuple[Design, ...],
         categories: tuple[ModelCategory, ...],
         settings: EvalSettings,
+        progress: ProgressFn | None,
     ) -> SweepOutcome:
         size = self.chunk_size or default_chunk_size(len(designs), self.workers)
         chunks = chunk_indices(len(designs), size)
         results: list[DesignEvaluation | None] = [None] * len(designs)
         stats = CacheStats()
         done_points = 0
-        with ProcessPoolExecutor(
-            max_workers=min(self.workers, len(chunks)),
-            initializer=_worker_init,
-            initargs=(self.cache_dir,),
-        ) as pool:
+        if self.keep_pool:
+            pool = self._ensure_pool()
+        else:
+            pool = ProcessPoolExecutor(
+                max_workers=min(self.workers, len(chunks)),
+                initializer=_worker_init,
+                initargs=(self.cache_dir,),
+            )
+        try:
             pending = {
                 pool.submit(
                     _evaluate_chunk,
@@ -195,10 +280,14 @@ class SweepRunner:
                         results[index] = evaluation
                     stats.merge(CacheStats.from_dict(chunk_stats))
                     done_points += len(indices)
-                    self._report(done_points, len(designs))
+                    self._report(progress, done_points, len(designs))
+        finally:
+            if not self.keep_pool:
+                pool.shutdown(wait=True)
         assert all(r is not None for r in results)
         return SweepOutcome(tuple(results), stats, self.workers, len(chunks))
 
-    def _report(self, done: int, total: int) -> None:
-        if self.progress is not None:
-            self.progress(done, total)
+    @staticmethod
+    def _report(progress: ProgressFn | None, done: int, total: int) -> None:
+        if progress is not None:
+            progress(done, total)

@@ -1,0 +1,174 @@
+"""Thin stdlib client for the ``repro serve`` HTTP service.
+
+Wraps :class:`http.client.HTTPConnection` (which handles chunked
+transfer decoding for the streaming endpoints) in the service's wire
+protocol: specs go out as JSON bodies, results come back as the
+``repro run --json`` payloads, and non-2xx responses raise
+:class:`ServeError` carrying the shared JSON error envelope.  Used by
+the test suite and the CI serve-smoke job; it is equally the programmatic
+entry point::
+
+    from repro.serve.client import ServeClient
+
+    client = ServeClient("127.0.0.1", 8757)
+    result = client.run({"name": "fig8", "designs": ["Dense", "Griffin"],
+                         "categories": ["DNN.B"]}, quick=True)
+    print(result["rows"][0], result["serve"]["coalesced"])
+    for event in client.run_stream("examples/experiments/fig8.json"):
+        print(event)  # progress ticks, then the result document
+
+Specs are accepted as dicts, JSON strings, or paths to spec files --
+the same inputs ``repro run`` / ``repro search`` take.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import os
+from typing import Iterator, Mapping
+
+from repro.api import ExperimentSpec
+from repro.errors import error_message
+from repro.search.spec import SearchSpec
+
+
+class ServeError(RuntimeError):
+    """A non-2xx service response, carrying the JSON error envelope."""
+
+    def __init__(self, status: int, envelope: Mapping) -> None:
+        super().__init__(f"HTTP {status}: {error_message(envelope)}")
+        self.status = status
+        self.envelope = dict(envelope)
+
+    @property
+    def kind(self) -> str:
+        error = self.envelope.get("error")
+        if isinstance(error, Mapping):
+            return str(error.get("kind", "unknown"))
+        return "unknown"
+
+
+def _spec_body(spec, spec_type) -> bytes:
+    """Coerce a spec (object/dict/JSON text/path) to a request body."""
+    if isinstance(spec, (ExperimentSpec, SearchSpec)):
+        return json.dumps(spec.to_dict()).encode("utf-8")
+    if isinstance(spec, Mapping):
+        return json.dumps(dict(spec)).encode("utf-8")
+    text = str(spec)
+    if text.lstrip().startswith("{"):
+        return text.encode("utf-8")
+    # A path: validate client-side (resolving relative workload paths)
+    # so errors carry the local filename, then ship the resolved spec.
+    loaded = spec_type.load(text)
+    return json.dumps(loaded.to_dict()).encode("utf-8")
+
+
+class ServeClient:
+    """Synchronous client; one HTTP connection per call."""
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 8757, timeout: float = 300.0
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # -- plumbing ------------------------------------------------------
+
+    def _request(
+        self, method: str, target: str, body: bytes | None = None
+    ) -> http.client.HTTPResponse:
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        headers = {"Content-Type": "application/json"} if body else {}
+        connection.request(method, target, body=body, headers=headers)
+        response = connection.getresponse()
+        if response.status >= 300:
+            raw = response.read()
+            connection.close()
+            try:
+                envelope = json.loads(raw)
+            except json.JSONDecodeError:
+                envelope = {"error": {"v": 1, "kind": "unknown",
+                                      "message": raw.decode("utf-8", "replace")}}
+            raise ServeError(response.status, envelope)
+        return response
+
+    def _json(self, method: str, target: str, body: bytes | None = None) -> dict:
+        response = self._request(method, target, body)
+        try:
+            return json.loads(response.read())
+        finally:
+            response.close()
+
+    @staticmethod
+    def _target(path: str, quick: bool | None, stream: bool = False) -> str:
+        params = []
+        if quick is not None:
+            params.append(f"quick={'1' if quick else '0'}")
+        if stream:
+            params.append("stream=1")
+        return path + ("?" + "&".join(params) if params else "")
+
+    def _stream(self, target: str, body: bytes) -> Iterator[dict]:
+        response = self._request("POST", target, body)
+        try:
+            for line in response:
+                line = line.strip()
+                if line:
+                    yield json.loads(line)
+        finally:
+            response.close()
+
+    # -- endpoints -----------------------------------------------------
+
+    def health(self) -> dict:
+        return self._json("GET", "/healthz")
+
+    def stats(self) -> dict:
+        return self._json("GET", "/stats")
+
+    def shutdown(self) -> dict:
+        """Ask the server to drain and exit."""
+        return self._json("POST", "/shutdown")
+
+    def run(
+        self,
+        spec: "ExperimentSpec | Mapping | str | os.PathLike",
+        quick: bool | None = None,
+    ) -> dict:
+        """POST an experiment; blocks until the result document."""
+        body = _spec_body(spec, ExperimentSpec)
+        return self._json("POST", self._target("/run", quick), body)
+
+    def run_stream(
+        self,
+        spec: "ExperimentSpec | Mapping | str | os.PathLike",
+        quick: bool | None = None,
+    ) -> Iterator[dict]:
+        """POST an experiment; yield NDJSON events as they arrive.
+
+        The last event is either ``{"event": "result", ...}`` (the full
+        result document) or ``{"event": "error", "error": {...}}``.
+        """
+        body = _spec_body(spec, ExperimentSpec)
+        return self._stream(self._target("/run", quick, stream=True), body)
+
+    def search(
+        self,
+        spec: "SearchSpec | Mapping | str | os.PathLike",
+        quick: bool | None = None,
+    ) -> dict:
+        """POST a search spec; blocks until the archive/front document."""
+        body = _spec_body(spec, SearchSpec)
+        return self._json("POST", self._target("/search", quick), body)
+
+    def search_stream(
+        self,
+        spec: "SearchSpec | Mapping | str | os.PathLike",
+        quick: bool | None = None,
+    ) -> Iterator[dict]:
+        body = _spec_body(spec, SearchSpec)
+        return self._stream(self._target("/search", quick, stream=True), body)

@@ -1,0 +1,189 @@
+"""Wire protocol of the ``repro serve`` evaluation service.
+
+The service deliberately invents no new request language: the POST body
+of ``/run`` *is* an :class:`~repro.api.ExperimentSpec` JSON document (the
+same file ``repro run`` takes) and the body of ``/search`` is a
+:class:`~repro.search.spec.SearchSpec`.  This module is the thin seam
+between HTTP and the session API:
+
+* :func:`parse_run_request` / :func:`parse_search_request` decode and
+  validate a request body + query string into a spec and per-request
+  options;
+* :func:`run_coalesce_key` computes the request's *coalesce key* -- a
+  sha256 over the resolved design fingerprints, the per-category workload
+  content fingerprints, and the resolved sampling options.  Two requests
+  with the same key are guaranteed to produce bitwise-identical results
+  (evaluations are pure functions of design x workload x options), so the
+  server lets them share one in-flight computation.  The key is
+  *content*-addressed through the PR 5 fingerprints: a spec naming
+  ``"BERT"`` and a spec inlining an identical WorkloadSpec coalesce, and
+  ``quick=None`` on a quick spec coalesces with an explicit ``quick``
+  override that resolves to the same sampling;
+* :func:`run_payload` / :func:`search_payload` shape the response
+  documents.  The ``"rows"`` / ``"cache"`` fields are exactly the
+  ``repro run --json`` / ``repro search --json`` payloads -- the
+  bitwise-identity contract the goldens lock -- with a ``"serve"`` block
+  of per-request metadata (coalesced?, key, latencies) layered alongside.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Mapping
+from urllib.parse import parse_qsl, urlsplit
+
+from repro.api import ExperimentResult, ExperimentSpec, SearchResult
+from repro.dse.evaluate import design_fingerprint
+from repro.search.spec import SearchSpec
+
+#: Bump on incompatible changes to the request/response shapes.
+PROTOCOL_VERSION = 1
+
+#: Versions the coalesce-key preimage (a bump splits old/new in-flight keys).
+COALESCE_KEY_VERSION = 1
+
+
+class RequestError(ValueError):
+    """A malformed or unanswerable request (maps to HTTP 400)."""
+
+    def __init__(self, message: str, kind: str = "invalid-request") -> None:
+        super().__init__(message)
+        self.kind = kind
+
+
+def parse_query(target: str) -> dict[str, str]:
+    """The query-string of a request target as a plain dict (last wins)."""
+    return dict(parse_qsl(urlsplit(target).query, keep_blank_values=True))
+
+
+def parse_path(target: str) -> str:
+    return urlsplit(target).path or "/"
+
+
+_TRUE = {"1", "true", "yes", "on"}
+_FALSE = {"0", "false", "no", "off"}
+
+
+def query_flag(query: Mapping[str, str], name: str) -> bool | None:
+    """A tri-state boolean query parameter (absent -> ``None``)."""
+    raw = query.get(name)
+    if raw is None:
+        return None
+    lowered = raw.strip().lower()
+    if lowered in _TRUE:
+        return True
+    if lowered in _FALSE:
+        return False
+    raise RequestError(
+        f"query parameter {name}={raw!r} is not a boolean "
+        f"(accepted: {sorted(_TRUE | _FALSE)})"
+    )
+
+
+def _decode_json_body(body: bytes, what: str) -> Mapping:
+    if not body:
+        raise RequestError(f"{what} request needs a JSON body")
+    try:
+        data = json.loads(body)
+    except json.JSONDecodeError as exc:
+        raise RequestError(f"{what} body is not valid JSON: {exc}") from None
+    if not isinstance(data, Mapping):
+        raise RequestError(f"{what} body must be a JSON object")
+    return data
+
+
+def parse_run_request(
+    body: bytes, query: Mapping[str, str]
+) -> tuple[ExperimentSpec, bool | None, bool]:
+    """Decode a ``POST /run`` request -> (spec, quick override, stream?)."""
+    data = _decode_json_body(body, "run")
+    try:
+        spec = ExperimentSpec.from_dict(data)
+    except ValueError as exc:
+        raise RequestError(str(exc)) from None
+    return spec, query_flag(query, "quick"), bool(query_flag(query, "stream"))
+
+
+def parse_search_request(
+    body: bytes, query: Mapping[str, str]
+) -> tuple[SearchSpec, bool | None, bool]:
+    """Decode a ``POST /search`` request -> (spec, quick override, stream?)."""
+    data = _decode_json_body(body, "search")
+    try:
+        spec = SearchSpec.from_dict(data)
+    except ValueError as exc:
+        raise RequestError(str(exc)) from None
+    return spec, query_flag(query, "quick"), bool(query_flag(query, "stream"))
+
+
+def _digest(payload: dict) -> str:
+    text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def run_coalesce_key(spec: ExperimentSpec, quick: bool | None = None) -> str:
+    """The content-addressed identity of a ``/run`` request.
+
+    Built from what the evaluation is actually a function of -- resolved
+    design fingerprints, per-category workload content fingerprints, and
+    the resolved :class:`SimulationOptions` -- rather than the spec text,
+    so cosmetic differences (name, title, design aliases, an inline
+    WorkloadSpec vs the preset it equals) still coalesce, and anything
+    result-changing cannot.
+    """
+    settings = spec.eval_settings(quick=quick)
+    categories = spec.resolve_categories()
+    return _digest({
+        "v": COALESCE_KEY_VERSION,
+        "endpoint": "run",
+        "designs": [design_fingerprint(d) for d in spec.resolve_designs()],
+        "categories": [c.value for c in categories],
+        "suites": {
+            c.value: [w.fingerprint for w in settings.suite(c)]
+            for c in categories
+        },
+        "quick": settings.quick,
+        "options": settings.options.to_dict(),
+    })
+
+
+def search_coalesce_key(spec: SearchSpec, quick: bool | None = None) -> str:
+    """The identity of a ``/search`` request.
+
+    A search is a function of the space, strategy (kind/seed/budget/
+    population), objectives, and evaluation settings; candidate designs
+    are chosen *by* the strategy, so the spec's own canonical form plus
+    the resolved suite fingerprints identify it.
+    """
+    settings = spec.eval_settings(quick=quick)
+    objectives = spec.resolve_objectives()
+    payload = spec.to_dict()
+    payload.pop("name", None)
+    payload.pop("title", None)
+    payload.pop("checkpoint", None)
+    return _digest({
+        "v": COALESCE_KEY_VERSION,
+        "endpoint": "search",
+        "spec": payload,
+        "suites": {
+            c.value: [w.fingerprint for w in settings.suite(c)]
+            for c in objectives.categories
+        },
+        "quick": settings.quick,
+        "options": settings.options.to_dict(),
+    })
+
+
+def run_payload(result: ExperimentResult, serve_meta: dict) -> dict:
+    """The ``/run`` response document: the CLI payload + serve metadata."""
+    payload = result.to_dict()
+    payload["serve"] = dict(serve_meta, v=PROTOCOL_VERSION)
+    return payload
+
+
+def search_payload(result: SearchResult, serve_meta: dict) -> dict:
+    """The ``/search`` response document: CLI payload + serve metadata."""
+    payload = result.to_dict()
+    payload["serve"] = dict(serve_meta, v=PROTOCOL_VERSION)
+    return payload

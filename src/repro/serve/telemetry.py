@@ -1,0 +1,148 @@
+"""Per-request and aggregate telemetry of the ``repro serve`` service.
+
+One :class:`ServeTelemetry` instance lives for the lifetime of the
+server.  Request handlers record events through it (received, coalesced,
+computed, failed) and every computation folds in its latency split --
+*queue* time (accepted -> evaluation thread picks it up) and *compute*
+time (evaluation wall clock) -- plus the per-run persistent-cache delta,
+so ``/stats`` can answer the deployment questions directly:
+
+* is coalescing working?  ``coalesce.hits`` vs ``coalesce.computations``
+  (the acceptance bar: 8 identical concurrent requests -> 1 computation,
+  7 hits);
+* is the cache warm?  ``cache.network_hits`` climbing while
+  ``cache.layer_lookups`` stays flat;
+* where does latency go?  queue vs compute totals / max.
+
+Everything is guarded by one lock and exported as a plain JSON dict by
+:meth:`ServeTelemetry.as_dict`; counters only ever increase, so readers
+need no coordination beyond the GIL-atomic snapshot under the lock.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.runtime.cache import CacheStats
+
+#: Bump on incompatible changes to the ``/stats`` payload shape.
+STATS_VERSION = 1
+
+
+class _LatencyAccumulator:
+    """Running total/max/count of a latency series, in milliseconds."""
+
+    __slots__ = ("total_ms", "max_ms", "count")
+
+    def __init__(self) -> None:
+        self.total_ms = 0.0
+        self.max_ms = 0.0
+        self.count = 0
+
+    def record(self, seconds: float) -> None:
+        ms = seconds * 1000.0
+        self.total_ms += ms
+        self.max_ms = max(self.max_ms, ms)
+        self.count += 1
+
+    def as_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "total_ms": round(self.total_ms, 3),
+            "max_ms": round(self.max_ms, 3),
+            "mean_ms": round(self.total_ms / self.count, 3) if self.count else 0.0,
+        }
+
+
+class ServeTelemetry:
+    """Thread-safe counters behind the ``/stats`` endpoint."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._started = time.monotonic()
+        self._received: dict[str, int] = {}
+        self._completed = 0
+        self._errors = 0
+        self._coalesce_hits = 0
+        self._computations = 0
+        self._in_flight = 0
+        self._streamed = 0
+        self._queue = _LatencyAccumulator()
+        self._compute = _LatencyAccumulator()
+        self._cache = CacheStats()
+
+    # -- recording -----------------------------------------------------
+
+    def request_received(self, endpoint: str) -> None:
+        with self._lock:
+            self._received[endpoint] = self._received.get(endpoint, 0) + 1
+
+    def request_completed(self) -> None:
+        with self._lock:
+            self._completed += 1
+
+    def request_failed(self) -> None:
+        with self._lock:
+            self._errors += 1
+
+    def request_streamed(self) -> None:
+        with self._lock:
+            self._streamed += 1
+
+    def coalesce_hit(self) -> None:
+        """A request joined an already-in-flight identical computation."""
+        with self._lock:
+            self._coalesce_hits += 1
+
+    def computation_started(self) -> None:
+        with self._lock:
+            self._computations += 1
+            self._in_flight += 1
+
+    def computation_finished(
+        self,
+        queue_s: float,
+        compute_s: float,
+        cache_delta: CacheStats | None = None,
+    ) -> None:
+        with self._lock:
+            self._in_flight = max(0, self._in_flight - 1)
+            self._queue.record(queue_s)
+            self._compute.record(compute_s)
+            if cache_delta is not None:
+                self._cache.merge(cache_delta)
+
+    # -- reading -------------------------------------------------------
+
+    def as_dict(self, session_cache: CacheStats | None = None) -> dict:
+        """The ``/stats`` payload.
+
+        ``session_cache`` (the shared session's lifetime totals) is
+        preferred for the ``cache`` block when given; the telemetry's own
+        per-computation merge is the fallback for embedders without a
+        session handle.  The two agree on a quiet server.
+        """
+        with self._lock:
+            cache = (session_cache if session_cache is not None else self._cache)
+            return {
+                "v": STATS_VERSION,
+                "uptime_s": round(time.monotonic() - self._started, 3),
+                "requests": {
+                    "received": sum(self._received.values()),
+                    "by_endpoint": dict(sorted(self._received.items())),
+                    "completed": self._completed,
+                    "errors": self._errors,
+                    "streamed": self._streamed,
+                },
+                "coalesce": {
+                    "computations": self._computations,
+                    "hits": self._coalesce_hits,
+                    "in_flight": self._in_flight,
+                },
+                "latency": {
+                    "queue": self._queue.as_dict(),
+                    "compute": self._compute.as_dict(),
+                },
+                "cache": cache.as_dict(),
+            }

@@ -25,6 +25,7 @@ from bench_gate import (  # noqa: E402
     ABS_FLOOR_S,
     SNAPSHOT_SCHEMA,
     GateResult,
+    cache_hit_rate,
     compare,
     history_snapshots,
     latest_snapshot,
@@ -317,6 +318,55 @@ class TestHistory:
     def test_empty_history_has_no_latest(self, tmp_path):
         assert latest_snapshot(tmp_path) is None
         assert history_snapshots(tmp_path) == []
+
+
+class TestCacheHitRate:
+    """The cache hit-rate trend column (serve PR satellite)."""
+
+    def test_rate_from_raw_cache_dict(self):
+        record = make_record("m", 1.0)
+        record["cache"] = {"hits": 3, "misses": 1}
+        assert cache_hit_rate(record) == pytest.approx(0.75)
+
+    def test_precomputed_field_wins(self):
+        record = make_record("m", 1.0)
+        record["cache_hit_rate"] = 0.5
+        record["cache"] = {"hits": 0, "misses": 100}
+        assert cache_hit_rate(record) == pytest.approx(0.5)
+
+    def test_no_cache_traffic_is_none_not_zero(self):
+        record = make_record("m", 1.0)
+        record["cache"] = {"hits": 0, "misses": 0}
+        assert cache_hit_rate(record) is None
+        record["cache"] = "garbage"
+        assert cache_hit_rate(record) is None
+
+    def test_merge_annotates_records_with_hit_rate(self):
+        record = make_record("m", 1.0)
+        record["cache"] = {"hits": 1, "misses": 3}
+        merged = merge_min_of_n([make_report([record])])
+        assert merged["results"][0]["cache_hit_rate"] == pytest.approx(0.25)
+
+    def test_compare_threads_rates_into_rows_and_table(self):
+        base = make_record("m", 10.0)
+        base["cache"] = {"hits": 1, "misses": 9}
+        cur = make_record("m", 10.0)
+        cur["cache_hit_rate"] = 0.9
+        result = compare(make_report([cur]), make_snapshot([base]), 1.0)
+        (row,) = result.rows
+        assert row.baseline_hit_rate == pytest.approx(0.1)
+        assert row.current_hit_rate == pytest.approx(0.9)
+        table = trend_table(result)
+        assert "cache hit" in table
+        assert "10% → 90%" in table
+
+    def test_old_snapshots_without_rate_render_dashes(self):
+        base = make_record("m", 10.0)
+        base["cache"] = {"hits": 0, "misses": 0}
+        cur = make_record("m", 10.0)
+        cur["cache"] = {"hits": 0, "misses": 0}
+        result = compare(make_report([cur]), make_snapshot([base]), 1.0)
+        assert "– → –" in trend_table(result)
 
 
 class TestCommittedSnapshots:

@@ -43,6 +43,38 @@ class TestParser:
                  "--category", "DNN.X"]
             )
 
+    def test_version_flag(self, capsys):
+        from repro import __version__
+
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["--version"])
+        assert excinfo.value.code == 0
+        assert f"repro {__version__}" in capsys.readouterr().out
+
+    def test_serve_args(self):
+        args = build_parser().parse_args(
+            ["serve", "--port", "0", "--workers", "2", "--compute-threads", "3"]
+        )
+        assert args.port == 0
+        assert args.workers == 2
+        assert args.compute_threads == 3
+        assert args.host == "127.0.0.1"
+
+
+class TestErrorReporting:
+    def test_human_errors_keep_stable_prefix(self, capsys):
+        assert main(["cost", "--arch", "NoSuchDesign"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: ")
+        assert "unrecognized design" in err
+
+    def test_json_errors_emit_the_envelope(self, capsys):
+        assert main(["--json-errors", "cost", "--arch", "NoSuchDesign"]) == 2
+        envelope = json.loads(capsys.readouterr().err)
+        assert envelope["error"]["v"] == 1
+        assert envelope["error"]["kind"] == "invalid-request"
+        assert "unrecognized design" in envelope["error"]["message"]
+
 
 class TestCommands:
     def test_cost_command(self, capsys):

@@ -1,0 +1,501 @@
+"""Tests for the ``repro serve`` subsystem (ISSUE 7 tentpole).
+
+Three layers of coverage:
+
+* **unit** -- coalesce keys are content-addressed (cosmetic spec changes
+  coalesce, result-changing ones split), the coalescer shares exactly one
+  task per key and survives waiter cancellation, the error envelope has
+  the agreed shape;
+* **integration** -- a real server on a real socket, driven by the real
+  :class:`~repro.serve.client.ServeClient`: the acceptance bar (8
+  concurrent identical requests -> 1 computation, 7 coalesce hits,
+  telemetry-proven), distinct requests not blocking each other, a client
+  disconnect mid-stream not poisoning the shared computation, streaming
+  event order, warm repeats answered from the network cache tier;
+* **identity** -- served rows are byte-identical (as JSON) to what the
+  CLI path (:meth:`Session.run`) produces for the same spec.
+
+Concurrency tests are made deterministic with a ``GatedSession`` whose
+``run`` blocks on a per-spec-name event: the test holds the gate until
+telemetry proves every request has arrived (and coalesced), then
+releases -- no sleeps, no timing races.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+import pytest
+
+from repro.api import ExperimentSpec, Session
+from repro.errors import (
+    ERROR_ENVELOPE_VERSION,
+    envelope_from_exception,
+    error_envelope,
+    format_error,
+)
+from repro.serve.app import ServeApp
+from repro.serve.client import ServeClient, ServeError
+from repro.serve.coalescer import RequestCoalescer
+from repro.serve.protocol import run_coalesce_key
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+TINYCNN = str(REPO_ROOT / "examples" / "workloads" / "tinycnn.json")
+
+#: Milliseconds-fast spec all integration tests share (TinyCNN, smoke
+#: sampling).  ``dict(SPEC_DICT)`` copies are mutated per test.
+SPEC_DICT = {
+    "name": "serve-test",
+    "designs": ["Dense"],
+    "categories": ["DNN.B"],
+    "networks": [TINYCNN],
+    "options": {"passes_per_gemm": 1, "max_t_steps": 8},
+}
+
+
+def make_spec(**overrides) -> dict:
+    spec = json.loads(json.dumps(SPEC_DICT))
+    spec.update(overrides)
+    return spec
+
+
+# ---------------------------------------------------------------------------
+# Error envelope (shared CLI/server shape)
+
+
+class TestErrorEnvelope:
+    def test_shape_and_version(self):
+        envelope = error_envelope("invalid-request", "boom", detail={"x": 1})
+        assert envelope == {
+            "error": {
+                "v": ERROR_ENVELOPE_VERSION,
+                "kind": "invalid-request",
+                "message": "boom",
+                "detail": {"x": 1},
+            }
+        }
+
+    def test_detail_omitted_when_none(self):
+        assert "detail" not in error_envelope("k", "m")["error"]
+
+    def test_exception_kind_mapping(self):
+        assert envelope_from_exception(ValueError("v"))["error"]["kind"] == \
+            "invalid-request"
+        assert envelope_from_exception(OSError("o"))["error"]["kind"] == "io-error"
+        assert envelope_from_exception(RuntimeError("r"))["error"]["kind"] == \
+            "internal-error"
+
+    def test_keyerror_message_is_unwrapped(self):
+        envelope = envelope_from_exception(KeyError("designs"))
+        assert envelope["error"]["message"] == "missing key: designs"
+
+    def test_format_keeps_historical_cli_prefix(self):
+        assert format_error(error_envelope("k", "boom")) == "error: boom"
+
+
+# ---------------------------------------------------------------------------
+# Coalesce keys
+
+
+class TestCoalesceKey:
+    def test_cosmetic_differences_coalesce(self):
+        a = ExperimentSpec.from_dict(make_spec())
+        b = ExperimentSpec.from_dict(make_spec(name="other", title="Other run"))
+        assert run_coalesce_key(a) == run_coalesce_key(b)
+
+    def test_design_alias_coalesces(self):
+        # Baseline is an alias of Dense: same resolved design fingerprint.
+        a = ExperimentSpec.from_dict(make_spec(designs=["Dense"]))
+        b = ExperimentSpec.from_dict(make_spec(designs=["Baseline"]))
+        assert run_coalesce_key(a) == run_coalesce_key(b)
+
+    def test_result_changing_fields_split(self):
+        base = ExperimentSpec.from_dict(make_spec())
+        for overrides in (
+            {"designs": ["Griffin"]},
+            {"categories": ["DNN.dense"]},
+            {"options": {"passes_per_gemm": 2, "max_t_steps": 8}},
+            {"networks": ["AlexNet"]},
+        ):
+            other = ExperimentSpec.from_dict(make_spec(**overrides))
+            assert run_coalesce_key(base) != run_coalesce_key(other), overrides
+
+    def test_quick_override_resolving_identically_coalesces(self):
+        spec = ExperimentSpec.from_dict(make_spec())
+        quick_spec = ExperimentSpec.from_dict(make_spec(
+            options={"passes_per_gemm": 1, "max_t_steps": 16}
+        ))
+        # quick=True forces (1 pass, 16 steps): identical resolved settings.
+        assert run_coalesce_key(spec, quick=True) == \
+            run_coalesce_key(quick_spec, quick=None)
+
+
+# ---------------------------------------------------------------------------
+# Coalescer semantics (pure asyncio, no HTTP)
+
+
+class TestCoalescer:
+    def test_identical_keys_share_one_start(self):
+        starts = []
+
+        async def scenario():
+            coalescer = RequestCoalescer()
+            release = asyncio.Event()
+
+            async def factory(computation):
+                starts.append(computation.key)
+                await release.wait()
+                return "answer"
+
+            joins = [coalescer.join("k", factory) for _ in range(5)]
+            assert [c for _, c in joins] == [False, True, True, True, True]
+            assert len({id(comp) for comp, _ in joins}) == 1
+            release.set()
+            results = await asyncio.gather(
+                *(coalescer.wait(comp) for comp, _ in joins)
+            )
+            assert results == ["answer"] * 5
+            assert len(coalescer) == 0  # done-callback cleaned up
+
+        asyncio.run(scenario())
+        assert starts == ["k"]
+
+    def test_distinct_keys_run_independently(self):
+        async def scenario():
+            coalescer = RequestCoalescer()
+            release_a = asyncio.Event()
+
+            async def slow(_comp):
+                await release_a.wait()
+                return "slow"
+
+            async def fast(_comp):
+                return "fast"
+
+            comp_a, _ = coalescer.join("a", slow)
+            comp_b, coalesced = coalescer.join("b", fast)
+            assert not coalesced
+            assert await coalescer.wait(comp_b) == "fast"  # b never waits on a
+            release_a.set()
+            assert await coalescer.wait(comp_a) == "slow"
+
+        asyncio.run(scenario())
+
+    def test_cancelled_waiter_does_not_poison_shared_computation(self):
+        async def scenario():
+            coalescer = RequestCoalescer()
+            release = asyncio.Event()
+
+            async def factory(_comp):
+                await release.wait()
+                return 42
+
+            comp, _ = coalescer.join("k", factory)
+            doomed = asyncio.ensure_future(coalescer.wait(comp))
+            survivor = asyncio.ensure_future(coalescer.wait(comp))
+            await asyncio.sleep(0)  # let both attach
+            doomed.cancel()
+            with pytest.raises(asyncio.CancelledError):
+                await doomed
+            assert not comp.task.cancelled()
+            release.set()
+            assert await survivor == 42
+
+        asyncio.run(scenario())
+
+    def test_failure_reaches_every_waiter(self):
+        async def scenario():
+            coalescer = RequestCoalescer()
+
+            async def factory(_comp):
+                raise ValueError("bad spec")
+
+            comp, _ = coalescer.join("k", factory)
+            for _ in range(2):
+                with pytest.raises(ValueError, match="bad spec"):
+                    await coalescer.wait(comp)
+            # The failed computation is no longer in flight: a retry with
+            # the same key starts fresh instead of replaying the error.
+            async def ok(_comp):
+                return "recovered"
+
+            comp2, coalesced = coalescer.join("k", ok)
+            assert not coalesced
+            assert await coalescer.wait(comp2) == "recovered"
+
+        asyncio.run(scenario())
+
+    def test_progress_fans_out_to_every_subscriber(self):
+        async def scenario():
+            coalescer = RequestCoalescer()
+            release = asyncio.Event()
+
+            async def factory(comp):
+                comp.publish({"event": "progress", "done": 1, "total": 2})
+                await release.wait()
+                return "x"
+
+            comp, _ = coalescer.join("k", factory)
+            q1, q2 = comp.subscribe(), comp.subscribe()
+            release.set()
+            await coalescer.wait(comp)
+            for queue in (q1, q2):
+                assert (await queue.get())["event"] == "progress"
+                assert (await queue.get())["event"] == "done"
+
+        asyncio.run(scenario())
+
+
+# ---------------------------------------------------------------------------
+# Integration: a real server on a real socket
+
+
+class GatedSession(Session):
+    """A session whose ``run`` blocks on a per-spec-name gate.
+
+    Lets a test hold a computation open until telemetry proves every
+    concurrent request has arrived, making coalescing assertions
+    deterministic.  ``run_calls`` records every *actual* evaluation --
+    the ground truth the coalesce counters are checked against.
+    """
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.gates: dict[str, threading.Event] = {}
+        self.run_calls: list[str] = []
+        self._calls_lock = threading.Lock()
+
+    def run(self, spec, quick=None, progress=None):
+        spec = ExperimentSpec.coerce(spec)
+        with self._calls_lock:
+            self.run_calls.append(spec.name)
+        gate = self.gates.get(spec.name)
+        if gate is not None:
+            assert gate.wait(timeout=30.0), f"gate {spec.name!r} never released"
+        return super().run(spec, quick=quick, progress=progress)
+
+
+class ServerFixture:
+    """A ServeApp on its own event-loop thread, bound to a free port."""
+
+    def __init__(self, app: ServeApp) -> None:
+        self.app = app
+        self.loop = asyncio.new_event_loop()
+        self._started = threading.Event()
+        self._thread = threading.Thread(target=self._main, daemon=True)
+        self._thread.start()
+        assert self._started.wait(timeout=10.0), "server failed to start"
+        self.client = ServeClient(port=self.app.port, timeout=60.0)
+
+    def _main(self) -> None:
+        asyncio.set_event_loop(self.loop)
+
+        async def body():
+            await self.app.start(port=0)
+            self._started.set()
+            await self.app.wait_for_shutdown_request()
+            await self.app.shutdown()
+
+        self.loop.run_until_complete(body())
+        self.loop.close()
+
+    def stop(self) -> None:
+        try:
+            self.loop.call_soon_threadsafe(self.app.request_shutdown)
+        except RuntimeError:
+            pass  # loop already closed: the server shut itself down
+        self._thread.join(timeout=30.0)
+        assert not self._thread.is_alive(), "server failed to shut down"
+
+
+@pytest.fixture
+def server(tmp_path):
+    session = GatedSession(cache_dir=str(tmp_path / "cache"), keep_pool=True)
+    fixture = ServerFixture(ServeApp(session, compute_threads=4))
+    yield fixture
+    fixture.stop()
+
+
+def poll_until(predicate, timeout=20.0, interval=0.02):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return False
+
+
+class TestServerBasics:
+    def test_health_and_version(self, server):
+        from repro import __version__
+
+        health = server.client.health()
+        assert health["ok"] is True
+        assert health["version"] == __version__
+
+    def test_unknown_endpoint_is_enveloped_404(self, server):
+        with pytest.raises(ServeError) as excinfo:
+            server.client._json("GET", "/nope")
+        assert excinfo.value.status == 404
+        assert excinfo.value.kind == "not-found"
+
+    def test_malformed_body_is_enveloped_400(self, server):
+        with pytest.raises(ServeError) as excinfo:
+            server.client._json("POST", "/run", b"not json")
+        assert excinfo.value.status == 400
+        assert excinfo.value.kind == "invalid-request"
+
+    def test_unknown_spec_keys_are_enveloped_400(self, server):
+        with pytest.raises(ServeError) as excinfo:
+            server.client.run({"designs": ["Dense"], "bogus": 1})
+        assert excinfo.value.status == 400
+        assert "bogus" in excinfo.value.envelope["error"]["message"]
+
+    def test_run_and_warm_repeat_hits_network_tier(self, server):
+        first = server.client.run(make_spec())
+        assert first["serve"]["coalesced"] is False
+        assert first["rows"]
+        second = server.client.run(make_spec())
+        cache = second["cache"]
+        # The warm repeat is served entirely from the network tier.
+        assert cache["network_hits"] > 0
+        layer_lookups = (cache["hits"] - cache["network_hits"]) + \
+            (cache["misses"] - cache["network_misses"])
+        assert layer_lookups == 0
+        assert second["rows"] == first["rows"]
+
+    def test_stats_counts_requests_and_latency(self, server):
+        server.client.run(make_spec())
+        stats = server.client.stats()
+        assert stats["requests"]["by_endpoint"]["POST /run"] == 1
+        assert stats["coalesce"]["computations"] == 1
+        assert stats["latency"]["compute"]["count"] == 1
+        assert stats["latency"]["compute"]["max_ms"] > 0
+
+    def test_streaming_events_and_result_match_unary(self, server):
+        unary = server.client.run(make_spec())
+        events = list(server.client.run_stream(make_spec()))
+        kinds = [e.get("event") for e in events]
+        assert kinds[0] == "accepted"
+        assert kinds[-1] == "result"
+        assert all(k == "progress" for k in kinds[1:-1])
+        assert events[-1]["rows"] == unary["rows"]
+
+
+class TestCoalescingUnderConcurrency:
+    def test_eight_identical_requests_one_computation(self, server):
+        """The ISSUE 7 acceptance bar, telemetry-proven."""
+        session = server.app.session
+        gate = session.gates["serve-test"] = threading.Event()
+        pool = ThreadPoolExecutor(max_workers=8)
+        futures = [
+            pool.submit(server.client.run, make_spec()) for _ in range(8)
+        ]
+        arrived = poll_until(lambda: (
+            server.client.stats()["coalesce"]["hits"] == 7
+            and server.client.stats()["coalesce"]["in_flight"] == 1
+        ))
+        gate.set()
+        results = [f.result(timeout=60) for f in futures]
+        assert arrived, "requests never coalesced onto one computation"
+        assert session.run_calls == ["serve-test"]  # exactly one evaluation
+        stats = server.client.stats()
+        assert stats["coalesce"]["computations"] == 1
+        assert stats["coalesce"]["hits"] == 7
+        rows = {json.dumps(r["rows"], sort_keys=True) for r in results}
+        assert len(rows) == 1
+        assert sorted(r["serve"]["coalesced"] for r in results) == \
+            [False] + [True] * 7
+
+    def test_distinct_requests_do_not_block_each_other(self, server):
+        session = server.app.session
+        gate = session.gates["blocked"] = threading.Event()
+        pool = ThreadPoolExecutor(max_workers=2)
+        slow = pool.submit(server.client.run, make_spec(name="blocked"))
+        assert poll_until(lambda: "blocked" in session.run_calls)
+        try:
+            # A different request completes while "blocked" holds its gate.
+            fast = server.client.run(make_spec(designs=["Griffin"]))
+            assert fast["rows"]
+            assert not slow.done()
+        finally:
+            gate.set()
+        assert slow.result(timeout=60)["rows"]
+
+    def test_client_disconnect_does_not_poison_shared_future(self, server):
+        session = server.app.session
+        gate = session.gates["serve-test"] = threading.Event()
+        body = json.dumps(make_spec()).encode()
+
+        # Client A: a raw socket so the disconnect is a genuine TCP close
+        # mid-stream, not a polite HTTP shutdown.
+        sock = socket.create_connection(("127.0.0.1", server.app.port),
+                                        timeout=30.0)
+        sock.sendall(
+            (f"POST /run?stream=1 HTTP/1.1\r\nHost: t\r\n"
+             f"Content-Type: application/json\r\n"
+             f"Content-Length: {len(body)}\r\n\r\n").encode() + body
+        )
+        received = b""
+        while b'"accepted"' not in received:
+            chunk = sock.recv(4096)
+            assert chunk, "connection closed before the accepted event"
+            received += chunk
+        sock.close()  # hard disconnect mid-computation
+
+        # Client B joins the same in-flight computation...
+        pool = ThreadPoolExecutor(max_workers=1)
+        survivor = pool.submit(server.client.run, make_spec())
+        assert poll_until(
+            lambda: server.client.stats()["coalesce"]["hits"] == 1
+        )
+        gate.set()
+        # ...and still gets the full result.
+        result = survivor.result(timeout=60)
+        assert result["rows"]
+        assert result["serve"]["coalesced"] is True
+        assert session.run_calls == ["serve-test"]
+
+    def test_draining_server_finishes_old_work_and_rejects_new(self, server):
+        """Graceful shutdown: in-flight requests drain, new ones get 503."""
+        session = server.app.session
+        gate = session.gates["hold"] = threading.Event()
+        pool = ThreadPoolExecutor(max_workers=1)
+        held = pool.submit(server.client.run, make_spec(name="hold"))
+        assert poll_until(lambda: "hold" in session.run_calls)
+        server.client.shutdown()
+        with pytest.raises(ServeError) as excinfo:
+            server.client.run(make_spec())
+        assert excinfo.value.status == 503
+        assert excinfo.value.kind == "draining"
+        gate.set()
+        # The in-flight request was drained, not dropped.
+        assert held.result(timeout=60)["rows"]
+
+
+class TestBitwiseIdentity:
+    def test_served_rows_equal_cli_rows(self, tmp_path):
+        """The served payload is the `repro run --json` payload, bit for bit."""
+        spec = make_spec(designs=["Dense", "Griffin"],
+                         categories=["DNN.B", "DNN.dense"])
+        cli_session = Session(cache_dir=str(tmp_path / "cli-cache"))
+        cli_result = cli_session.run(ExperimentSpec.from_dict(spec))
+        cli_payload = cli_result.to_dict()
+
+        session = Session(cache_dir=str(tmp_path / "serve-cache"),
+                          keep_pool=True)
+        fixture = ServerFixture(ServeApp(session, compute_threads=2))
+        try:
+            served = fixture.client.run(spec)
+        finally:
+            fixture.stop()
+        assert json.dumps(served["rows"], sort_keys=True) == \
+            json.dumps(cli_payload["rows"], sort_keys=True)
+        assert served["categories"] == cli_payload["categories"]
+        assert served["experiment"] == cli_payload["experiment"]

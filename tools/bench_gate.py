@@ -40,7 +40,7 @@ import subprocess
 import sys
 import tempfile
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
@@ -152,6 +152,32 @@ def validate_snapshot(snapshot: object) -> list[str]:
 # Measurement: min-of-N merged reports + the calibration probe
 
 
+def cache_hit_rate(record: dict) -> float | None:
+    """The module's persistent-cache hit rate, ``None`` when unknowable.
+
+    Prefers the precomputed ``cache_hit_rate`` field (written by
+    :func:`merge_min_of_n` since the serve PR) and falls back to deriving
+    it from the raw ``cache`` hits/misses dict, so snapshots committed
+    before the field existed still produce a trend column.  A module that
+    never touched the cache (zero lookups) reports ``None``, not 0% --
+    "no cache traffic" and "all misses" are different regressions.
+    """
+    rate = record.get("cache_hit_rate")
+    if isinstance(rate, (int, float)) and not isinstance(rate, bool):
+        return float(rate)
+    cache = record.get("cache")
+    if not isinstance(cache, dict):
+        return None
+    hits = cache.get("hits", 0)
+    misses = cache.get("misses", 0)
+    if not isinstance(hits, (int, float)) or not isinstance(misses, (int, float)):
+        return None
+    lookups = hits + misses
+    if lookups <= 0:
+        return None
+    return float(hits) / float(lookups)
+
+
 def merge_min_of_n(reports: list[dict]) -> dict:
     """Merge repeated bench reports, keeping the minimum wall per module.
 
@@ -184,6 +210,10 @@ def merge_min_of_n(reports: list[dict]) -> dict:
                 merged[module] = dict(record)
                 merged[module]["wall_all"] = wall_all
     records = [merged[module] for module in order]
+    for record in records:
+        rate = cache_hit_rate(record)
+        if rate is not None:
+            record["cache_hit_rate"] = round(rate, 4)
     base = dict(reports[0])
     base.update(
         total_wall_s=round(sum(r["wall_s"] for r in records), 3),
@@ -263,6 +293,8 @@ class ModuleTrend:
     baseline_s: float | None
     current_s: float | None
     note: str = ""
+    baseline_hit_rate: float | None = None
+    current_hit_rate: float | None = None
 
     @property
     def ratio(self) -> float | None:
@@ -371,6 +403,23 @@ def compare(
         rows.append(ModuleTrend(module, status, None, record["wall_s"],
                                 "not in baseline snapshot"))
 
+    # Annotate every row with its cache hit rates (trend column; derived
+    # from the raw hits/misses for snapshots that predate the field).
+    rows = [
+        replace(
+            row,
+            baseline_hit_rate=(
+                cache_hit_rate(baseline[row.module])
+                if row.module in baseline else None
+            ),
+            current_hit_rate=(
+                cache_hit_rate(measured[row.module])
+                if row.module in measured else None
+            ),
+        )
+        for row in rows
+    ]
+
     return GateResult(
         status=worst,
         rows=tuple(rows),
@@ -397,23 +446,32 @@ def trend_table(result: GateResult) -> str:
         lines.append(f"_{note}_")
         lines.append("")
     lines += [
-        "| module | baseline budget (s) | current (s) | ratio | status |",
-        "|---|---:|---:|---:|---|",
+        "| module | baseline budget (s) | current (s) | ratio | "
+        "cache hit (base → cur) | status |",
+        "|---|---:|---:|---:|---:|---|",
     ]
+
+    def pct(rate: float | None) -> str:
+        return f"{100.0 * rate:.0f}%" if rate is not None else "–"
+
     for row in sorted(result.rows, key=lambda r: r.module):
         base = f"{row.baseline_s:.2f}" if row.baseline_s is not None else "–"
         cur = f"{row.current_s:.2f}" if row.current_s is not None else "–"
         ratio = f"x{row.ratio:.2f}" if row.ratio is not None else "–"
+        hit = f"{pct(row.baseline_hit_rate)} → {pct(row.current_hit_rate)}"
         icon = _STATUS_ICON.get(row.status, "?")
         note = f" {row.note}" if row.note else ""
         lines.append(
-            f"| {row.module} | {base} | {cur} | {ratio} | {icon} {row.status}{note} |"
+            f"| {row.module} | {base} | {cur} | {ratio} | {hit} "
+            f"| {icon} {row.status}{note} |"
         )
     lines += [
         "",
         f"Thresholds: fail >{FAIL_PCT:.0%}, warn >{WARN_PCT:.0%}, "
         f"absolute floor {ABS_FLOOR_S:.1f}s; budgets are min-of-N walls "
-        "scaled by the machine-calibration probe.",
+        "scaled by the machine-calibration probe.  Cache hit rates are "
+        "persistent-cache hits/(hits+misses) per module ('–' = no cache "
+        "traffic); the gate is informational on this column.",
         "",
     ]
     return "\n".join(lines)
