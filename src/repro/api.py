@@ -414,7 +414,9 @@ class Session:
     so overlapping serial evaluations keep the same session cache
     installed until the last one finishes; note that per-call
     ``cache_stats`` deltas then attribute concurrent activity to every
-    overlapping call, while :attr:`stats` totals stay exact.
+    overlapping call, while :attr:`stats` totals stay exact -- each call
+    folds in only the cache's cumulative advance since the previous
+    fold, so overlapping windows are never double-counted.
     """
 
     def __init__(
@@ -452,6 +454,7 @@ class Session:
                 f"use_cache must be True, False or {INHERIT!r}, got {use_cache!r}"
             )
         self._state_lock = threading.RLock()
+        self._absorbed = CacheStats()  # cache counters at the last absorb
         self._install_depth = 0
         self._install_prev: object = None
         self._runner: SweepRunner | None = None
@@ -506,28 +509,44 @@ class Session:
         finally:
             self._uninstall()
 
-    def close(self) -> None:
+    def close(self, wait: bool = True) -> None:
         """Release the warm worker pool, if one is alive (idempotent).
 
         Only meaningful with ``keep_pool=True``; a later ``evaluate``
         lazily recreates the pool, so a closed session stays usable.
+        ``wait=False`` releases without joining in-flight work -- the
+        ``repro serve`` shutdown path after a timed-out drain, where
+        joining would block on a still-running evaluation.
         """
         with self._state_lock:
             runner, self._runner = self._runner, None
         if runner is not None:
-            runner.close()
+            runner.close(wait=wait)
 
     def _snapshot(self) -> CacheStats | None:
         return self._cache.stats.snapshot() if self._cache is not None else None
 
     def _absorb(self, before: CacheStats | None) -> CacheStats:
-        """Fold cache activity since ``before`` into the session totals."""
+        """Fold new cache activity into the totals; return this call's delta.
+
+        Concurrent serial calls all read the one shared cache-stats
+        counter, so folding each call's own ``before``-to-now window into
+        :attr:`stats` would count overlapping activity once per
+        overlapping call.  Instead the session tracks the counter value
+        it last absorbed (under the state lock) and merges only the
+        cumulative advance since then -- every cache event lands in the
+        totals exactly once, whatever the interleaving.  The *returned*
+        per-call delta is still the plain window since ``before`` (it
+        attributes concurrent activity to every overlapping call, as
+        documented on the class).
+        """
         if before is None:
             return CacheStats()
-        delta = self._cache.stats.delta(before)
         with self._state_lock:
-            self.stats.merge(delta)
-        return delta
+            current = self._cache.stats.snapshot()
+            self.stats.merge(current.delta(self._absorbed))
+            self._absorbed = current
+        return current.delta(before)
 
     def _ensure_runner(self) -> SweepRunner:
         """The session's (lazily created, reusable) parallel runner."""

@@ -163,15 +163,19 @@ class SweepRunner:
                 )
             return self._pool
 
-    def close(self) -> None:
-        """Shut down the warm pool and submission threads (idempotent)."""
+    def close(self, wait: bool = True) -> None:
+        """Shut down the warm pool and submission threads (idempotent).
+
+        ``wait=False`` cancels queued work and returns without joining
+        chunks already running -- for a bounded-time service shutdown.
+        """
         with self._lock:
             pool, self._pool = self._pool, None
             submitter, self._submitter = self._submitter, None
         if pool is not None:
-            pool.shutdown(wait=True)
+            pool.shutdown(wait=wait, cancel_futures=not wait)
         if submitter is not None:
-            submitter.shutdown(wait=True)
+            submitter.shutdown(wait=wait, cancel_futures=not wait)
 
     def __enter__(self) -> "SweepRunner":
         return self

@@ -73,6 +73,9 @@ _TERMINAL_EVENTS = {"done", "error", "cancelled"}
 #: Cap on accepted request bodies (specs are small; 8 MiB is generous).
 MAX_BODY_BYTES = 8 * 1024 * 1024
 
+#: Cap on request header lines (real clients send a handful).
+MAX_HEADER_LINES = 64
+
 
 class ServeApp:
     """The evaluation service: routing, coalescing, telemetry, lifecycle.
@@ -147,7 +150,7 @@ class ServeApp:
             return
         self._closed = True
         self._draining = True
-        await self.coalescer.drain(self.drain_timeout)
+        drained = await self.coalescer.drain(self.drain_timeout)
         current = asyncio.current_task()
         pending = {
             task for task in self._connections
@@ -159,8 +162,12 @@ class ServeApp:
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
-        self._executor.shutdown(wait=False)
-        self.session.close()
+        self._executor.shutdown(wait=False, cancel_futures=True)
+        # A timed-out drain means an evaluation is still running on a
+        # compute thread; closing the session with wait=True would block
+        # on it (the worker pool joins in-flight chunks), stretching
+        # shutdown far past drain_timeout.  Release without waiting.
+        self.session.close(wait=drained)
 
     def install_signal_handlers(self) -> None:
         """Route SIGINT/SIGTERM to :meth:`request_shutdown` (best effort)."""
@@ -198,7 +205,15 @@ class ServeApp:
         if task is not None:
             self._connections.add(task)
         try:
-            parsed = await self._read_request(reader, writer)
+            try:
+                parsed = await self._read_request(reader, writer)
+            except ValueError as exc:
+                # StreamReader raises ValueError past its line-length
+                # limit: an oversized request line / header, not a bug.
+                self._send_json(writer, 400, error_envelope(
+                    "invalid-request", f"unreadable request: {exc}"
+                ))
+                parsed = None
             if parsed is not None:
                 method, target, headers, body = parsed
                 await self._dispatch(writer, method, target, headers, body)
@@ -235,13 +250,33 @@ class ServeApp:
             return None
         method, target, _version = parts
         headers: dict[str, str] = {}
-        while True:
+        for lines_read in range(MAX_HEADER_LINES + 1):
             line = (await reader.readline()).decode("latin-1").rstrip("\r\n")
             if not line:
                 break
+            if lines_read == MAX_HEADER_LINES:
+                self._send_json(
+                    writer, 400,
+                    error_envelope(
+                        "invalid-request",
+                        f"more than {MAX_HEADER_LINES} request header lines",
+                    ),
+                )
+                return None
             name, _, value = line.partition(":")
             headers[name.strip().lower()] = value.strip()
-        length = int(headers.get("content-length", "0") or "0")
+        raw_length = headers.get("content-length", "").strip()
+        if raw_length and not (raw_length.isascii() and raw_length.isdigit()):
+            self._send_json(
+                writer, 400,
+                error_envelope(
+                    "invalid-request",
+                    f"content-length {raw_length!r} is not a "
+                    f"non-negative integer",
+                ),
+            )
+            return None
+        length = int(raw_length) if raw_length else 0
         if length > MAX_BODY_BYTES:
             self._send_json(
                 writer, 400,
@@ -360,15 +395,22 @@ class ServeApp:
                 key = run_coalesce_key(spec, quick)
 
                 def call(progress):
-                    result = self.session.run(spec, quick=quick, progress=progress)
-                    return result, run_payload
+                    return self.session.run(spec, quick=quick, progress=progress)
+
+                # Shaping is per *request*, not per computation: the
+                # coalesce key ignores name/title, so a coalesced waiter
+                # re-anchors the shared result on its own spec.
+                def shape(result, serve_meta):
+                    return run_payload(result, spec, serve_meta)
             else:
                 spec, quick, stream = parse_search_request(body, query)
                 key = search_coalesce_key(spec, quick)
 
                 def call(progress):
-                    result = self.session.search(spec, quick=quick, progress=progress)
-                    return result, search_payload
+                    return self.session.search(spec, quick=quick, progress=progress)
+
+                def shape(result, serve_meta):
+                    return search_payload(result, spec, serve_meta)
         except RequestError:
             raise
         except ValueError as exc:
@@ -382,9 +424,9 @@ class ServeApp:
         meta = {"key": key, "coalesced": coalesced, "endpoint": path}
 
         if stream:
-            await self._answer_streaming(writer, computation, meta, accepted)
+            await self._answer_streaming(writer, computation, shape, meta, accepted)
         else:
-            await self._answer_unary(writer, computation, meta, accepted)
+            await self._answer_unary(writer, computation, shape, meta, accepted)
 
     async def _compute(self, computation: Computation, call) -> dict:
         """The shared computation body: runs ``call`` on a compute thread."""
@@ -395,13 +437,13 @@ class ServeApp:
         def work():
             started = time.monotonic()
             timing["queue_s"] = started - enqueued
-            result, shape = call(computation.progress_callback())
+            result = call(computation.progress_callback())
             timing["compute_s"] = time.monotonic() - started
-            return result, shape
+            return result
 
         loop = asyncio.get_running_loop()
         try:
-            result, shape = await loop.run_in_executor(self._executor, work)
+            result = await loop.run_in_executor(self._executor, work)
         except BaseException:
             self.telemetry.computation_finished(
                 timing.get("queue_s", time.monotonic() - enqueued),
@@ -416,13 +458,13 @@ class ServeApp:
         )
         return {
             "result": result,
-            "shape": shape,
             "queue_ms": round(timing["queue_s"] * 1000.0, 3),
             "compute_ms": round(timing["compute_s"] * 1000.0, 3),
         }
 
-    def _result_document(self, outcome: dict, meta: dict, accepted: float) -> dict:
-        shape = outcome["shape"]
+    def _result_document(
+        self, outcome: dict, shape, meta: dict, accepted: float
+    ) -> dict:
         return shape(outcome["result"], dict(
             meta,
             queue_ms=outcome["queue_ms"],
@@ -434,6 +476,7 @@ class ServeApp:
         self,
         writer: asyncio.StreamWriter,
         computation: Computation,
+        shape,
         meta: dict,
         accepted: float,
     ) -> None:
@@ -446,13 +489,16 @@ class ServeApp:
             self._send_json(writer, status, envelope_from_exception(exc))
             self.telemetry.request_failed()
             return
-        self._send_json(writer, 200, self._result_document(outcome, meta, accepted))
+        self._send_json(
+            writer, 200, self._result_document(outcome, shape, meta, accepted)
+        )
         self.telemetry.request_completed()
 
     async def _answer_streaming(
         self,
         writer: asyncio.StreamWriter,
         computation: Computation,
+        shape,
         meta: dict,
         accepted: float,
     ) -> None:
@@ -486,7 +532,7 @@ class ServeApp:
                 self._end_stream(writer)
                 self.telemetry.request_failed()
                 return
-            document = self._result_document(outcome, meta, accepted)
+            document = self._result_document(outcome, shape, meta, accepted)
             document["event"] = "result"
             await self._send_chunk(writer, document)
             self._end_stream(writer)

@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+from dataclasses import replace
 from typing import Mapping
 from urllib.parse import parse_qsl, urlsplit
 
@@ -108,12 +109,24 @@ def parse_run_request(
 def parse_search_request(
     body: bytes, query: Mapping[str, str]
 ) -> tuple[SearchSpec, bool | None, bool]:
-    """Decode a ``POST /search`` request -> (spec, quick override, stream?)."""
+    """Decode a ``POST /search`` request -> (spec, quick override, stream?).
+
+    A spec naming a ``checkpoint`` is rejected: honoring it would let a
+    remote client make the server write an arbitrary file path, and a
+    per-client archive file makes no sense for a shared computation.
+    Checkpointing stays a ``repro search`` CLI feature.
+    """
     data = _decode_json_body(body, "search")
     try:
         spec = SearchSpec.from_dict(data)
     except ValueError as exc:
         raise RequestError(str(exc)) from None
+    if spec.checkpoint is not None:
+        raise RequestError(
+            "search specs served over /search must not name a 'checkpoint' "
+            "(the server will not write client-chosen paths); drop the field "
+            "and checkpoint with 'repro search --checkpoint' locally instead"
+        )
     return spec, query_flag(query, "quick"), bool(query_flag(query, "stream"))
 
 
@@ -175,15 +188,35 @@ def search_coalesce_key(spec: SearchSpec, quick: bool | None = None) -> str:
     })
 
 
-def run_payload(result: ExperimentResult, serve_meta: dict) -> dict:
-    """The ``/run`` response document: the CLI payload + serve metadata."""
+def run_payload(
+    result: ExperimentResult, spec: ExperimentSpec, serve_meta: dict
+) -> dict:
+    """The ``/run`` response document: the CLI payload + serve metadata.
+
+    ``spec`` is *this request's* spec.  A coalesced waiter shares the
+    owner's computed ``result`` (safe: equal coalesce keys imply
+    identical rows), but the document's name/title fields must come from
+    the waiter's own spec -- the coalesce key deliberately ignores them,
+    so the owner's may differ.  Re-anchoring the result on the request
+    spec keeps every response bitwise-equal to ``repro run --json`` of
+    the spec that was actually posted.
+    """
+    if result.spec is not spec:
+        result = replace(result, spec=spec)
     payload = result.to_dict()
     payload["serve"] = dict(serve_meta, v=PROTOCOL_VERSION)
     return payload
 
 
-def search_payload(result: SearchResult, serve_meta: dict) -> dict:
-    """The ``/search`` response document: CLI payload + serve metadata."""
+def search_payload(result: SearchResult, spec: SearchSpec, serve_meta: dict) -> dict:
+    """The ``/search`` response document: CLI payload + serve metadata.
+
+    As with :func:`run_payload`, the shared result is re-anchored on the
+    requesting spec's name/title so coalesced waiters whose specs differ
+    only cosmetically each see their own.
+    """
+    if result.name != spec.name or result.title != spec.title:
+        result = replace(result, name=spec.name, title=spec.title)
     payload = result.to_dict()
     payload["serve"] = dict(serve_meta, v=PROTOCOL_VERSION)
     return payload

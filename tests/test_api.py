@@ -17,6 +17,8 @@ were removed in v2.0 at the end of their deprecation cycle.)
 """
 
 import json
+import threading
+from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
 
 import pytest
@@ -163,6 +165,35 @@ class TestSessionEvaluate:
         engine.clear_memo_cache()
         session.evaluate([sparse_b(2, 0, 0)], (ModelCategory.B,), SETTINGS)
         assert session.stats.puts > 0 and session.stats.hits > 0
+
+    def test_overlapping_serial_calls_count_stats_exactly_once(
+        self, cold_engine, tmp_path
+    ):
+        """Concurrent serial evaluations share one cache-stats counter;
+        the session totals must equal it, not a per-call double count.
+        A barrier in the progress callbacks forces both calls to finish
+        evaluating before either absorbs, maximizing window overlap."""
+        session = Session(cache_dir=tmp_path)
+        barrier = threading.Barrier(2, timeout=30.0)
+
+        def rendezvous(done, total):
+            barrier.wait()
+
+        designs = [sparse_b(2, 0, 0), sparse_b(2, 1, 0)]
+        with ThreadPoolExecutor(max_workers=2) as pool:
+            futures = [
+                pool.submit(
+                    session.evaluate, [design], (ModelCategory.B,),
+                    SETTINGS, None, rendezvous,
+                )
+                for design in designs
+            ]
+            for future in futures:
+                future.result(timeout=120)
+        totals = session.cache.stats
+        assert session.stats.puts > 0
+        assert (session.stats.hits, session.stats.misses,
+                session.stats.puts) == (totals.hits, totals.misses, totals.puts)
 
     def test_simulate_through_cache(self, cold_engine, tmp_path):
         session = Session(cache_dir=tmp_path)

@@ -39,6 +39,15 @@ def cold_engine():
     engine.set_persistent_cache(previous)
 
 
+class TestLifecycle:
+    def test_close_without_waiting_is_nonblocking_and_idempotent(self):
+        runner = SweepRunner(workers=2, use_cache=False, keep_pool=True)
+        runner._ensure_pool()
+        runner.close(wait=False)  # the bounded-shutdown straggler path
+        runner.close()  # idempotent across modes
+        assert runner._pool is None
+
+
 class TestChunking:
     def test_partition_is_exact_and_ordered(self):
         chunks = chunk_indices(10, 3)

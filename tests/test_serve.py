@@ -43,7 +43,11 @@ from repro.errors import (
 from repro.serve.app import ServeApp
 from repro.serve.client import ServeClient, ServeError
 from repro.serve.coalescer import RequestCoalescer
-from repro.serve.protocol import run_coalesce_key
+from repro.serve.protocol import (
+    RequestError,
+    parse_search_request,
+    run_coalesce_key,
+)
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 TINYCNN = str(REPO_ROOT / "examples" / "workloads" / "tinycnn.json")
@@ -134,6 +138,23 @@ class TestCoalesceKey:
         # quick=True forces (1 pass, 16 steps): identical resolved settings.
         assert run_coalesce_key(spec, quick=True) == \
             run_coalesce_key(quick_spec, quick=None)
+
+
+# ---------------------------------------------------------------------------
+# Served search specs must not drive server-side file writes
+
+
+class TestSearchCheckpointRejection:
+    def test_parse_rejects_checkpoint_field(self):
+        body = json.dumps({"space": "b", "checkpoint": "evil.json"}).encode()
+        with pytest.raises(RequestError, match="checkpoint"):
+            parse_search_request(body, {})
+
+    def test_checkpoint_free_spec_parses(self):
+        body = json.dumps({"space": "b"}).encode()
+        spec, quick, stream = parse_search_request(body, {})
+        assert spec.checkpoint is None
+        assert quick is None and stream is False
 
 
 # ---------------------------------------------------------------------------
@@ -357,6 +378,50 @@ class TestServerBasics:
         assert excinfo.value.status == 400
         assert "bogus" in excinfo.value.envelope["error"]["message"]
 
+    def test_search_checkpoint_is_enveloped_400_and_writes_nothing(
+        self, server, tmp_path
+    ):
+        target = tmp_path / "client-chosen.json"
+        with pytest.raises(ServeError) as excinfo:
+            server.client.search({"space": "b", "checkpoint": str(target)})
+        assert excinfo.value.status == 400
+        assert excinfo.value.kind == "invalid-request"
+        assert "checkpoint" in excinfo.value.envelope["error"]["message"]
+        assert not target.exists()
+
+    def _raw(self, server, request_text: str) -> bytes:
+        sock = socket.create_connection(
+            ("127.0.0.1", server.app.port), timeout=30.0
+        )
+        try:
+            sock.sendall(request_text.encode())
+            received = b""
+            while True:
+                chunk = sock.recv(4096)
+                if not chunk:
+                    return received
+                received += chunk
+        finally:
+            sock.close()
+
+    def test_malformed_content_length_is_enveloped_400(self, server):
+        for bad in ("abc", "-5", "1e3", "+2"):
+            response = self._raw(
+                server,
+                f"POST /run HTTP/1.1\r\nHost: t\r\n"
+                f"Content-Length: {bad}\r\n\r\n",
+            )
+            assert response.startswith(b"HTTP/1.1 400"), (bad, response[:64])
+            assert b"invalid-request" in response
+
+    def test_header_line_flood_is_enveloped_400(self, server):
+        flood = "".join(f"X-Header-{i}: {i}\r\n" for i in range(80))
+        response = self._raw(
+            server, f"GET /healthz HTTP/1.1\r\n{flood}\r\n"
+        )
+        assert response.startswith(b"HTTP/1.1 400")
+        assert b"header lines" in response
+
     def test_run_and_warm_repeat_hits_network_tier(self, server):
         first = server.client.run(make_spec())
         assert first["serve"]["coalesced"] is False
@@ -412,6 +477,32 @@ class TestCoalescingUnderConcurrency:
         assert len(rows) == 1
         assert sorted(r["serve"]["coalesced"] for r in results) == \
             [False] + [True] * 7
+
+    def test_coalesced_waiter_sees_its_own_spec_name(self, server):
+        """The key ignores name/title, but each response must carry the
+        name/title of the spec that was actually posted -- the
+        bitwise-identity contract holds per waiter, not per owner."""
+        session = server.app.session
+        gate = session.gates["owner"] = threading.Event()
+        pool = ThreadPoolExecutor(max_workers=2)
+        owner = pool.submit(
+            server.client.run, make_spec(name="owner", title="Owner's run")
+        )
+        assert poll_until(lambda: "owner" in session.run_calls)
+        waiter = pool.submit(
+            server.client.run, make_spec(name="waiter", title="Waiter's run")
+        )
+        assert poll_until(
+            lambda: server.client.stats()["coalesce"]["hits"] == 1
+        )
+        gate.set()
+        owner_result = owner.result(timeout=60)
+        waiter_result = waiter.result(timeout=60)
+        assert session.run_calls == ["owner"]  # one shared evaluation
+        assert owner_result["experiment"] == "owner"
+        assert waiter_result["experiment"] == "waiter"
+        assert waiter_result["serve"]["coalesced"] is True
+        assert waiter_result["rows"] == owner_result["rows"]
 
     def test_distinct_requests_do_not_block_each_other(self, server):
         session = server.app.session
