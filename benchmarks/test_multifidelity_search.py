@@ -1,0 +1,147 @@
+"""Multi-fidelity search: the surrogate-screened shortlist vs exact search.
+
+The calibrated analytical surrogate (``repro.surrogate``, fitted golden
+constants committed with the toolkit) screens an entire feasible design
+space in pure arithmetic, and only the predicted-frontier shortlist is
+confirmed by the exact engine.  These benchmarks time the screened runs
+and assert the reproduction's acceptance bar: the shortlist recovers the
+same starred point exact search finds, while spending a fraction of the
+exact evaluations (<= 10% of the grid on the paper space, and strictly
+fewer than the committed evolutionary baseline on the wide space).
+"""
+
+from repro.dse.evaluate import EvalSettings
+from repro.dse.report import format_table
+from repro.search import paper_space
+from repro.sim.engine import SimulationOptions
+from conftest import show
+
+#: The surrogate's calibrated "quick" sampling regime -- specs must match
+#: it exactly (the surrogate refuses uncalibrated options).
+QUICK_OPTIONS = {"passes_per_gemm": 1, "max_t_steps": 16, "seed": 7}
+
+SMOKE = EvalSettings(
+    quick=True,
+    options=SimulationOptions(**QUICK_OPTIONS),
+    networks=("BERT",),
+)
+
+#: The committed `examples/experiments/search_b.json` space and baseline.
+WIDE_SPACE = {
+    "name": "b-wide",
+    "db1": [1, 2, 3, 4, 5, 6, 7],
+    "db2": [0, 1, 2, 3, 4],
+    "db3": [0, 1, 2, 3],
+    "max_amux_fanin": 8,
+}
+OBJECTIVES = [
+    {"category": "DNN.B", "metric": "tops_per_watt"},
+    {"category": "DNN.dense", "metric": "tops_per_watt"},
+]
+EVOLUTIONARY_BUDGET = 11
+
+
+def _multi_spec(name: str, space, budget: int) -> dict:
+    return {
+        "name": name,
+        "space": space,
+        "fidelity": "multi",
+        "strategy": {"budget": budget},
+        "objectives": OBJECTIVES,
+        "networks": ["BERT"],
+        "options": QUICK_OPTIONS,
+    }
+
+
+def test_multifidelity_recovers_the_paper_space_star(benchmark, session):
+    """Budget 4 of the 42-config paper b space recovers the exhaustive star."""
+    spec = _multi_spec("bench-multi-b", "b", budget=4)
+
+    multi = benchmark.pedantic(lambda: session.search(spec), rounds=1, iterations=1)
+    exhaustive = session.search("b", settings=SMOKE)
+
+    show(format_table(
+        [
+            {
+                "Search": "surrogate-screened",
+                "Exact evals": multi.evaluated,
+                "Screened": multi.screened,
+                "Star": multi.optimal().label,
+            },
+            {
+                "Search": "exhaustive",
+                "Exact evals": len(exhaustive.archive),
+                "Screened": 0,
+                "Star": exhaustive.optimal().label,
+            },
+        ],
+        title="Multi-fidelity vs exhaustive -- paper Sparse.B space",
+    ))
+    assert multi.optimal().label == exhaustive.optimal().label
+    assert multi.screened == len(paper_space("b"))
+    # The acceptance bar: <= 10% of the grid spent on exact evaluations.
+    assert multi.evaluated * 10 <= multi.grid_size
+    # The archive holds engine truth: the starred row's scores equal the
+    # exhaustive run's scores for the same config, bit for bit.
+    star = multi.optimal()
+    twin = next(r for r in exhaustive.archive if r.label == star.label)
+    assert star.scores == twin.scores
+
+
+def test_multifidelity_undercuts_the_evolutionary_baseline(benchmark, session):
+    """On the committed 112-config wide space, budget 6 beats budget 11."""
+    spec = _multi_spec("bench-multi-b-wide", WIDE_SPACE, budget=6)
+
+    multi = benchmark.pedantic(lambda: session.search(spec), rounds=1, iterations=1)
+    evolutionary = session.search(
+        {
+            "name": "bench-evo-b-wide",
+            "space": WIDE_SPACE,
+            "strategy": {
+                "kind": "evolutionary",
+                "seed": 16,
+                "budget": EVOLUTIONARY_BUDGET,
+                "population": 4,
+                "parents": 2,
+                "children": 2,
+            },
+            "objectives": OBJECTIVES,
+            "networks": ["BERT"],
+            "options": QUICK_OPTIONS,
+        }
+    )
+
+    show(format_table(
+        [
+            {
+                "Search": "surrogate-screened",
+                "Exact evals": multi.evaluated,
+                "Star": multi.optimal().label,
+            },
+            {
+                "Search": "evolutionary (committed baseline)",
+                "Exact evals": len(evolutionary.archive),
+                "Star": evolutionary.optimal().label,
+            },
+        ],
+        title="Multi-fidelity vs evolutionary -- b-wide (search_b.json) space",
+    ))
+    assert multi.optimal().label == evolutionary.optimal().label
+    assert multi.screened == multi.grid_size == 112
+    assert multi.evaluated < len(evolutionary.archive)
+
+
+def test_screening_is_deterministic_and_free(benchmark, session):
+    """Re-running the screened search is bitwise-identical and cache-warm."""
+    spec = _multi_spec("bench-multi-b-wide", WIDE_SPACE, budget=6)
+
+    first = session.search(spec)
+    repeat = benchmark.pedantic(lambda: session.search(spec), rounds=1, iterations=1)
+
+    assert [r.label for r in repeat.archive] == [r.label for r in first.archive]
+    assert [r.scores for r in repeat.archive] == [r.scores for r in first.archive]
+    assert repeat.optimal().label == first.optimal().label
+    show(
+        f"screened repeat: {repeat.evaluated} exact evaluations, "
+        f"star {repeat.optimal().label} (bitwise-identical archive)"
+    )

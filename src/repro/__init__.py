@@ -57,7 +57,14 @@ from repro.search import (
     RandomSearch,
     SearchSpace,
     SearchSpec,
+    SurrogateScreenedSearch,
     paper_space,
+)
+from repro.surrogate import (
+    SurrogateConstants,
+    SurrogateModel,
+    load_constants,
+    save_constants,
 )
 from repro.sim.engine import (
     NETWORK_KEY_VERSION,
@@ -121,6 +128,11 @@ __all__ = [
     "ExhaustiveSearch",
     "RandomSearch",
     "EvolutionarySearch",
+    "SurrogateScreenedSearch",
+    "SurrogateModel",
+    "SurrogateConstants",
+    "load_constants",
+    "save_constants",
     "Design",
     "ConfigDesign",
     "GriffinDesign",

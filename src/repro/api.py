@@ -83,7 +83,11 @@ from repro.search.archive import ParetoArchive, SearchRecord
 from repro.search.objectives import ObjectiveSet
 from repro.search.space import SearchSpace, resolve_space
 from repro.search.spec import SPEC_DEFAULT_OPTIONS, SearchSpec
-from repro.search.strategy import ExhaustiveSearch, SearchStrategy
+from repro.search.strategy import (
+    ExhaustiveSearch,
+    SearchStrategy,
+    SurrogateScreenedSearch,
+)
 from repro.sim import engine
 from repro.sim.engine import NetworkSimResult, SimulationOptions, simulate_network
 from repro.workloads.models import Network
@@ -312,6 +316,7 @@ class SearchResult:
     workers: int
     grid_size: int
     title: str = ""
+    fidelity: str = "exact"
 
     @property
     def archive(self) -> ParetoArchive:
@@ -325,6 +330,11 @@ class SearchResult:
     def evaluated(self) -> int:
         """Fresh evaluations this run (excludes archive replays)."""
         return self.outcome.evaluated
+
+    @property
+    def screened(self) -> int:
+        """Configs scored by the surrogate (multi-fidelity runs only)."""
+        return self.outcome.screened
 
     def front(self) -> list[SearchRecord]:
         return self.archive.front()
@@ -365,6 +375,8 @@ class SearchResult:
             "strategy": self.strategy,
             "objectives": list(self.objectives.names),
             "grid_size": self.grid_size,
+            "fidelity": self.fidelity,
+            "screened": self.screened,
             "evaluations": len(self.archive),
             "fresh_evaluations": self.evaluated,
             "reused": self.outcome.reused,
@@ -374,6 +386,22 @@ class SearchResult:
             "front": [record.to_dict() for record in self.front()],
             "cache": self.cache_stats.as_dict(),
         }
+
+
+def _resolve_surrogate(surrogate):
+    """Coerce the ``surrogate=`` argument into a loaded model.
+
+    Accepts a ready model, a fitted constants document, or a path to one;
+    ``None`` loads the committed golden (which also version-checks it
+    against the running engine).
+    """
+    from repro.surrogate import SurrogateConstants, SurrogateModel
+
+    if isinstance(surrogate, SurrogateModel):
+        return surrogate
+    if isinstance(surrogate, SurrogateConstants):
+        return SurrogateModel(surrogate)
+    return SurrogateModel.load(surrogate)
 
 
 class Session:
@@ -705,6 +733,7 @@ class Session:
         checkpoint: str | os.PathLike | None = None,
         resume: bool = False,
         progress: ProgressFn | None = None,
+        surrogate=None,
     ) -> SearchResult:
         """Run a guided design-space search (see ``docs/search.md``).
 
@@ -724,6 +753,13 @@ class Session:
         without re-evaluating (``quick`` must match the original run for
         the replay to be meaningful).  ``budget`` caps total recorded
         evaluations, checkpointed ones included.
+
+        A multi-fidelity run (spec ``fidelity: "multi"`` / strategy kind
+        ``surrogate``) screens the space with the calibrated surrogate
+        before spending any exact evaluation; ``surrogate`` overrides the
+        model -- a :class:`repro.surrogate.SurrogateModel`, a
+        :class:`repro.surrogate.SurrogateConstants` document, or a path
+        to a fitted constants file (default: the committed golden).
         """
         search_spec: SearchSpec | None = None
         if isinstance(spec, SearchSpace):
@@ -780,6 +816,19 @@ class Session:
         categories = objectives.categories
         grid_size = len(space)
 
+        if isinstance(strategy, SurrogateScreenedSearch) and not strategy.bound:
+            model = _resolve_surrogate(surrogate)
+
+            def predict(config):
+                return objectives.scores(
+                    model.evaluate_design(config, categories, settings)
+                )
+
+            strategy.bind(predict)
+        fidelity = (
+            "multi" if isinstance(strategy, SurrogateScreenedSearch) else "exact"
+        )
+
         report = progress if progress is not None else self.progress
 
         def evaluate_batch(configs):
@@ -815,7 +864,34 @@ class Session:
             outcome=outcome,
             workers=self.workers,
             grid_size=grid_size,
+            fidelity=fidelity,
         )
+
+    def calibrate(
+        self,
+        spaces: Sequence[str] | None = None,
+        networks: Sequence[str] | None = None,
+        regimes: Mapping | None = None,
+        save: "bool | str | os.PathLike | None" = None,
+    ):
+        """Fit surrogate constants against this session's exact results.
+
+        Builds the calibration corpus through this session (parallel over
+        the session's workers, served by and absorbed into the persistent
+        cache), fits the correction vectors deterministically, and
+        returns the :class:`repro.surrogate.SurrogateConstants` document.
+        ``spaces`` / ``networks`` / ``regimes`` restrict the corpus (all
+        paper spaces x the Table IV suite x the production and quick
+        sampling regimes by default).  ``save=True`` refreshes the
+        committed golden; a path saves there instead.
+        """
+        from repro.surrogate import calibrate as _calibrate
+        from repro.surrogate import save_constants
+
+        constants = _calibrate(self, spaces, networks, regimes)
+        if save is not None and save is not False:
+            save_constants(constants, None if save is True else save)
+        return constants
 
 
 def run_experiment(

@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Eight subcommands cover the everyday questions, all driving the same
+Nine subcommands cover the everyday questions, all driving the same
 session API (:mod:`repro.api`) so every command shares the parallel
 runner and the two-tier persistent result cache (whole networks, then
 layers -- see ``docs/caching.md``):
@@ -15,9 +15,13 @@ layers -- see ``docs/caching.md``):
 * ``run``       -- execute a declarative experiment spec (JSON), e.g. the
   checked-in Fig. 8 overall comparison;
 * ``search``    -- guided design-space search (:mod:`repro.search`):
-  exhaustive / random / evolutionary strategies over a declarative
-  constrained space, with a Pareto archive and checkpoint/resume (see
-  ``docs/search.md``);
+  exhaustive / random / evolutionary / surrogate-screened strategies over
+  a declarative constrained space, with a Pareto archive,
+  checkpoint/resume, and a multi-fidelity mode (``--fidelity multi``)
+  that screens with the calibrated surrogate (see ``docs/search.md``);
+* ``surrogate`` -- fit the calibrated analytical surrogate against the
+  cache's exact results, or verify the committed constants against their
+  error budget (see ``docs/surrogate.md``);
 * ``workloads`` -- list the workload registry, validate declarative
   WorkloadSpec JSON files, and print content fingerprints (see
   ``docs/workloads.md``);
@@ -70,7 +74,7 @@ from repro.dse.explorer import DESIGN_SPACES, design_space, space_categories, sp
 from repro.dse.report import format_table, select_optimal, sweep_rows, sweep_table
 from repro.runtime.cache import CacheStats
 from repro.search.space import PAPER_SPACE_NAMES, resolve_space
-from repro.search.spec import SearchSpec, StrategySpec
+from repro.search.spec import FIDELITY_KINDS, SearchSpec, StrategySpec
 from repro.search.strategy import STRATEGY_KINDS
 from repro.sim.engine import SimulationOptions
 from repro.workloads.registry import WORKLOADS, benchmark_names, parse_workload
@@ -258,24 +262,45 @@ def cmd_search(args: argparse.Namespace) -> int:
         # Switching a spec to exhaustive means "the full grid": drop the
         # spec's sampling budget unless the user explicitly caps it.
         overrides["budget"] = None
+    if args.fidelity == "multi":
+        if overrides.get("kind") not in (None, "surrogate"):
+            raise ValueError(
+                f"--fidelity multi runs the surrogate-screened strategy; "
+                f"it conflicts with --strategy {overrides['kind']}"
+            )
+        overrides["kind"] = "surrogate"
     if args.spec:
         spec = SearchSpec.load(args.spec)
         if overrides:
             # e.g. `--strategy exhaustive` reuses a spec's space/settings as
             # the ground truth a guided run is compared against (what the CI
             # smoke does); everything not overridden keeps the spec's value.
-            spec = replace(spec, strategy=replace(spec.strategy, **overrides))
+            # Fidelity follows the effective strategy kind (they are one
+            # choice -- see SearchSpec).
+            strategy = replace(spec.strategy, **overrides)
+            spec = replace(
+                spec,
+                strategy=strategy,
+                fidelity="multi" if strategy.kind == "surrogate" else "exact",
+            )
     else:
         if not args.space:
             raise ValueError(
                 "search needs a spec file (see examples/experiments/"
                 "search_b.json) or --space"
             )
+        strategy = StrategySpec(**{"kind": "evolutionary", **overrides})
         spec = SearchSpec(
             space=resolve_space(args.space),
-            strategy=StrategySpec(**{"kind": "evolutionary", **overrides}),
+            strategy=strategy,
             name=f"search-{args.space}",
             networks=tuple(args.network) if args.network else None,
+            fidelity="multi" if strategy.kind == "surrogate" else "exact",
+        )
+    if args.fidelity == "exact" and spec.strategy.kind == "surrogate":
+        raise ValueError(
+            "--fidelity exact needs an exact strategy; add --strategy "
+            "exhaustive, random, or evolutionary"
         )
     quick = True if args.quick else (False if args.full else None)
 
@@ -285,6 +310,7 @@ def cmd_search(args: argparse.Namespace) -> int:
         quick=quick,
         checkpoint=args.checkpoint,
         resume=args.resume,
+        surrogate=args.surrogate_path,
     )
 
     print(result.space.describe())
@@ -301,6 +327,12 @@ def cmd_search(args: argparse.Namespace) -> int:
         + (f", {result.outcome.reused} answered from checkpoint"
            if result.outcome.reused else "")
     )
+    if result.fidelity == "multi":
+        # CI greps this line too -- keep the prefix stable.
+        print(
+            f"surrogate screened {result.screened} configs; "
+            f"{result.evaluated} exact evaluations confirmed the shortlist"
+        )
     if args.checkpoint:
         print(f"archive checkpoint: {args.checkpoint}")
     print(_cache_line(result.cache_stats, session))
@@ -309,6 +341,41 @@ def cmd_search(args: argparse.Namespace) -> int:
         with open(args.json_path, "w") as handle:
             json.dump(result.to_dict(), handle, indent=2)
         print(f"wrote {args.json_path}")
+    return 0
+
+
+def cmd_surrogate(args: argparse.Namespace) -> int:
+    return args.surrogate_func(args)
+
+
+def cmd_surrogate_fit(args: argparse.Namespace) -> int:
+    from repro.surrogate import REGIME_OPTIONS, save_constants, summary_lines
+
+    regimes = None
+    if args.regime:
+        regimes = {name: REGIME_OPTIONS[name] for name in args.regime}
+    session = _session(args)
+    with session:
+        constants = session.calibrate(
+            spaces=args.space or None,
+            networks=args.network or None,
+            regimes=regimes,
+        )
+    for line in summary_lines(constants):
+        print(line)
+    path = save_constants(constants, args.out)
+    print(f"wrote fitted surrogate constants to {path}")
+    print(_cache_line(session.stats, session))
+    return 0
+
+
+def cmd_surrogate_check(args: argparse.Namespace) -> int:
+    from repro.surrogate import check_constants, load_constants
+
+    constants = load_constants(args.constants)
+    for line in check_constants(constants):
+        print(line)
+    print("surrogate error budget: OK")
     return 0
 
 
@@ -581,6 +648,17 @@ def build_parser() -> argparse.ArgumentParser:
              "(default 8, or the spec's)",
     )
     search.add_argument(
+        "--fidelity", choices=sorted(FIDELITY_KINDS), default=None,
+        help="evaluation fidelity: 'multi' screens the whole space with the "
+             "calibrated surrogate and exact-confirms only the predicted "
+             "shortlist (same choice as --strategy surrogate)",
+    )
+    search.add_argument(
+        "--surrogate", dest="surrogate_path", default=None,
+        help="fitted surrogate constants for multi-fidelity runs "
+             "(default: the committed golden)",
+    )
+    search.add_argument(
         "--network", action="append",
         help=f"restrict the evaluation suite to these workloads (flag mode; "
              f"{workload_help})",
@@ -647,6 +725,59 @@ def build_parser() -> argparse.ArgumentParser:
         help="workload tokens (names, name:override, or spec paths)",
     )
     wl_fp.set_defaults(func=cmd_workloads, wl_func=cmd_workloads_fingerprint)
+
+    surrogate = sub.add_parser(
+        "surrogate",
+        help="calibrated analytical surrogate: fit constants against exact "
+             "cached results or verify the committed golden's error budget "
+             "(docs/surrogate.md)",
+    )
+    sur_sub = surrogate.add_subparsers(dest="surrogate_command", required=True)
+    sur_fit = sur_sub.add_parser(
+        "fit",
+        help="build the calibration corpus through the session (warm cache "
+             "entries are read back, missing ones simulated) and fit the "
+             "correction constants deterministically",
+    )
+    sur_fit.add_argument(
+        "--space", action="append", choices=sorted(PAPER_SPACE_NAMES),
+        help="restrict the corpus to these paper spaces (default: all)",
+    )
+    sur_fit.add_argument(
+        "--network", action="append",
+        help="restrict the corpus to these Table IV workloads by name "
+             "(default: the full suite)",
+    )
+    sur_fit.add_argument(
+        "--regime", action="append", choices=["default", "quick"],
+        help="restrict the corpus to these sampling regimes (default: both)",
+    )
+    sur_fit.add_argument(
+        "--out", default=None,
+        help="constants file to write (default: the committed golden)",
+    )
+    sur_fit.add_argument(
+        "--workers", type=int, default=0,
+        help="worker processes; 0 evaluates serially in-process",
+    )
+    cache_flags(sur_fit, stats_flag=False)
+    sur_fit.add_argument(
+        "--progress", action="store_true", help="report progress on stderr"
+    )
+    sur_fit.set_defaults(func=cmd_surrogate, surrogate_func=cmd_surrogate_fit)
+    sur_check = sur_sub.add_parser(
+        "check",
+        help="re-derive every recorded calibration error from the fitted "
+             "constants (no simulation) and enforce the error budget "
+             "(exit 2 on breach or on stale constants)",
+    )
+    sur_check.add_argument(
+        "--constants", default=None,
+        help="constants file to verify (default: the committed golden)",
+    )
+    sur_check.set_defaults(
+        func=cmd_surrogate, surrogate_func=cmd_surrogate_check
+    )
 
     serve = sub.add_parser(
         "serve",

@@ -48,6 +48,10 @@ class SearchLoopOutcome:
     batches: int
     evaluated: int
     reused: int
+    #: Configs scored by a surrogate model instead of the exact engine
+    #: (0 for single-fidelity strategies).  ``evaluated`` stays what it
+    #: always was: exact-engine evaluations only.
+    screened: int = 0
 
     @property
     def total_told(self) -> int:
@@ -139,4 +143,5 @@ def run_search_loop(
         batches=batches,
         evaluated=evaluated,
         reused=reused,
+        screened=int(getattr(strategy, "screened", 0)),
     )

@@ -25,13 +25,14 @@ from repro.search.space import (
     paper_space,
     resolve_space,
 )
-from repro.search.spec import SearchSpec, StrategySpec
+from repro.search.spec import FIDELITY_KINDS, SearchSpec, StrategySpec
 from repro.search.strategy import (
     STRATEGY_KINDS,
     EvolutionarySearch,
     ExhaustiveSearch,
     RandomSearch,
     SearchStrategy,
+    SurrogateScreenedSearch,
     build_strategy,
 )
 
@@ -58,6 +59,8 @@ __all__ = [
     "EvolutionarySearch",
     "build_strategy",
     "STRATEGY_KINDS",
+    "FIDELITY_KINDS",
+    "SurrogateScreenedSearch",
     "SearchSpec",
     "StrategySpec",
 ]

@@ -20,6 +20,12 @@ constraints), the strategy and its seed/budget, and the objectives::
 ``space`` may also be a preset name (``"b"``) or ``{"preset": "b"}``.
 Objectives default to the paper's pair for the space's inferred sparse
 category: sparse-category TOPS/W x dense TOPS/W.
+
+``"fidelity": "multi"`` switches the run to multi-fidelity search: the
+calibrated surrogate (:mod:`repro.surrogate`) screens the whole space and
+only the predicted-frontier shortlist (sized by the strategy ``budget``)
+is confirmed by the exact engine.  It is the same choice as strategy kind
+``"surrogate"`` -- give either, or both consistently.
 """
 
 from __future__ import annotations
@@ -41,7 +47,13 @@ from repro.workloads.registry import anchor_workload_tokens, parse_workload
 SPEC_DEFAULT_OPTIONS = {"passes_per_gemm": 3, "max_t_steps": 64}
 
 _SPEC_KEYS = {"name", "title", "space", "strategy", "objectives", "quick",
-              "networks", "options", "checkpoint"}
+              "networks", "options", "checkpoint", "fidelity"}
+
+#: Evaluation fidelities a spec can name.  ``exact`` runs every proposed
+#: config through the engine; ``multi`` screens the space with the
+#: calibrated surrogate first (strategy kind ``surrogate``) and spends the
+#: exact engine only on the predicted shortlist.
+FIDELITY_KINDS = ("exact", "multi")
 _STRATEGY_KEYS = {"kind", "seed", "budget", "population", "parents",
                   "children", "batch_size"}
 
@@ -123,6 +135,23 @@ class SearchSpec:
         default_factory=lambda: SimulationOptions(**SPEC_DEFAULT_OPTIONS)
     )
     checkpoint: str | None = None
+    fidelity: str = "exact"
+
+    def __post_init__(self) -> None:
+        if self.fidelity not in FIDELITY_KINDS:
+            raise ValueError(
+                f"unknown fidelity {self.fidelity!r}; "
+                f"choose from {list(FIDELITY_KINDS)}"
+            )
+        # Fidelity and strategy kind are two spellings of one choice:
+        # multi-fidelity IS the surrogate-screened strategy.  Keeping them
+        # bijective means a spec can never claim one and run the other.
+        if (self.strategy.kind == "surrogate") != (self.fidelity == "multi"):
+            raise ValueError(
+                f"fidelity {self.fidelity!r} conflicts with strategy kind "
+                f"{self.strategy.kind!r}: 'multi' pairs with the "
+                f"'surrogate' strategy (and only with it)"
+            )
 
     @staticmethod
     def from_dict(data: Mapping) -> "SearchSpec":
@@ -139,9 +168,19 @@ class SearchSpec:
         if data.get("objectives"):
             objectives = ObjectiveSet.from_dicts(data["objectives"])
         networks = data.get("networks")
+        strategy = StrategySpec.from_dict(data.get("strategy") or {})
+        fidelity = data.get("fidelity")
+        if fidelity is None:
+            # One given, the other implied: kind 'surrogate' IS multi.
+            fidelity = "multi" if strategy.kind == "surrogate" else "exact"
+        elif fidelity == "multi" and "kind" not in (data.get("strategy") or {}):
+            # 'fidelity: multi' alone selects the surrogate strategy.
+            strategy = StrategySpec.from_dict(
+                {**(data.get("strategy") or {}), "kind": "surrogate"}
+            )
         spec = SearchSpec(
             space=space,
-            strategy=StrategySpec.from_dict(data.get("strategy") or {}),
+            strategy=strategy,
             objectives=objectives,
             name=str(data.get("name", "search")),
             title=str(data.get("title", "")),
@@ -151,6 +190,7 @@ class SearchSpec:
                 dict(data.get("options") or {}), defaults=SPEC_DEFAULT_OPTIONS
             ),
             checkpoint=str(data["checkpoint"]) if data.get("checkpoint") else None,
+            fidelity=str(fidelity),
         )
         # Fail fast: an empty feasible grid, an unbuildable strategy, or an
         # unresolvable workload token is a spec error, not something to
@@ -209,6 +249,8 @@ class SearchSpec:
             payload["objectives"] = self.objectives.to_dicts()
         if self.checkpoint is not None:
             payload["checkpoint"] = self.checkpoint
+        if self.fidelity != "exact":
+            payload["fidelity"] = self.fidelity
         return payload
 
     def resolve_objectives(self) -> ObjectiveSet:

@@ -9,7 +9,7 @@ decision is a deterministic function of a seed and of told scores (which
 are themselves bitwise-deterministic), a strategy run is reproducible
 across runs *and* across worker counts.
 
-Three strategies ship:
+Four strategies ship:
 
 * :class:`ExhaustiveSearch` -- the full feasible grid, in space order
   (subsumes the legacy ``design_space()`` sweeps);
@@ -17,7 +17,12 @@ Three strategies ship:
 * :class:`EvolutionarySearch` -- seeded (mu + lambda)-style local search:
   parents picked by Pareto rank (non-dominated sorting, product-rule
   tie-break), children by single-field mutation -- finds the Table VI
-  starred points while evaluating a fraction of the grid.
+  starred points while evaluating a fraction of the grid;
+* :class:`SurrogateScreenedSearch` -- the multi-fidelity mode
+  (``fidelity: "multi"`` in a search spec): the calibrated analytical
+  surrogate (:mod:`repro.surrogate`) scores *every* feasible config in
+  microseconds, and only the predicted Pareto shortlist is proposed to
+  the exact engine for confirmation.
 """
 
 from __future__ import annotations
@@ -226,8 +231,84 @@ def _product(values: Sequence[float]) -> float:
     return out
 
 
+class SurrogateScreenedSearch:
+    """Multi-fidelity screening: surrogate ranks, exact engine confirms.
+
+    The strategy must be **bound** to a predictor -- a callable mapping a
+    config to its predicted maximize-score vector -- before its first
+    ``ask``; :meth:`repro.api.Session.search` binds the calibrated
+    :class:`repro.surrogate.SurrogateModel` automatically.  The one ask
+    scores the entire feasible grid with the predictor (recorded in
+    ``screened``), ranks it exactly like the evolutionary selection rule
+    -- non-dominated sorting, product-of-scores tie-break, then space
+    order -- and proposes the top ``budget`` configs for exact
+    evaluation.  The loop's exact results then build the archive, so the
+    frontier the search reports is engine truth; the surrogate only
+    decided where to spend the exact evaluations.
+
+    The surrogate is deterministic arithmetic over fitted constants, so
+    the shortlist -- and therefore the whole search -- is bitwise
+    reproducible across runs and worker counts; ``seed`` is accepted for
+    interface uniformity but never consulted.
+    """
+
+    name = "surrogate"
+
+    def __init__(
+        self, space: SearchSpace, budget: int, seed: int = 2022
+    ) -> None:
+        if budget < 1:
+            raise ValueError(f"budget must be >= 1, got {budget}")
+        self.space = space
+        self.budget = budget
+        self.seed = seed
+        self.screened = 0
+        self._predict = None
+        self._asked = False
+
+    @property
+    def bound(self) -> bool:
+        return self._predict is not None
+
+    def bind(self, predict) -> "SurrogateScreenedSearch":
+        """Attach the score predictor (config -> maximize-score vector)."""
+        self._predict = predict
+        return self
+
+    def ask(self) -> list[ArchConfig]:
+        if self._asked:
+            return []
+        self._asked = True
+        if self._predict is None:
+            raise ValueError(
+                "surrogate strategy is not bound to a predictor; run it "
+                "through Session.search (which binds the calibrated "
+                "surrogate model) or call .bind(predict) first"
+            )
+        configs = self.space.configs()
+        scored = [self._predict(config) for config in configs]
+        self.screened = len(configs)
+        ranks = pareto_ranks(scored)
+        product = [_product(vector) for vector in scored]
+        order = sorted(
+            range(len(configs)), key=lambda i: (ranks[i], -product[i], i)
+        )
+        return [configs[i] for i in order[: self.budget]]
+
+    def tell(self, results: Sequence[TellResult]) -> None:
+        pass
+
+    def describe(self) -> str:
+        return (
+            f"surrogate-screened shortlist (top {self.budget} of "
+            f"{len(self.space)} predicted configs, exact-confirmed)"
+        )
+
+
 #: Strategy kinds the CLI / SearchSpec can name.
-STRATEGY_KINDS: tuple[str, ...] = ("exhaustive", "random", "evolutionary")
+STRATEGY_KINDS: tuple[str, ...] = (
+    "exhaustive", "random", "evolutionary", "surrogate"
+)
 
 
 def build_strategy(
@@ -261,6 +342,8 @@ def build_strategy(
             parents=parents,
             children=children,
         )
+    if key == "surrogate":
+        return SurrogateScreenedSearch(space, budget=budget, seed=seed)
     raise ValueError(
         f"unknown search strategy {kind!r}; choose from {list(STRATEGY_KINDS)}"
     )

@@ -1,0 +1,57 @@
+"""Calibrated analytical surrogate of the exact simulation engine.
+
+``model`` holds the closed form and the prediction path, ``calibrate``
+the corpus builder and the deterministic fit, ``store`` the persistence
+of the fitted constants (committed golden keyed by
+:data:`~repro.sim.engine.SIMULATION_KEY_VERSION`).  The multi-fidelity
+search mode (``fidelity: "multi"``) screens design spaces with this model
+and confirms the predicted frontier with the exact engine.
+"""
+
+from repro.surrogate.calibrate import (
+    REGIME_OPTIONS,
+    Corpus,
+    CorpusRow,
+    build_corpus,
+    calibrate,
+    check_constants,
+    fit_constants,
+    summary_lines,
+)
+from repro.surrogate.model import (
+    DEFAULT_ERROR_BUDGET,
+    ERROR_BUDGET,
+    SurrogateModel,
+    SurrogatePrediction,
+    gemm_terms,
+)
+from repro.surrogate.store import (
+    ANY_WORKLOAD,
+    DEFAULT_CONSTANTS_PATH,
+    FamilyConstants,
+    SurrogateConstants,
+    load_constants,
+    save_constants,
+)
+
+__all__ = [
+    "ANY_WORKLOAD",
+    "Corpus",
+    "CorpusRow",
+    "DEFAULT_CONSTANTS_PATH",
+    "DEFAULT_ERROR_BUDGET",
+    "ERROR_BUDGET",
+    "FamilyConstants",
+    "REGIME_OPTIONS",
+    "SurrogateConstants",
+    "SurrogateModel",
+    "SurrogatePrediction",
+    "build_corpus",
+    "calibrate",
+    "check_constants",
+    "fit_constants",
+    "gemm_terms",
+    "load_constants",
+    "save_constants",
+    "summary_lines",
+]

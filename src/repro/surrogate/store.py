@@ -1,0 +1,195 @@
+"""Persistence of the surrogate's fitted constants.
+
+The calibrated constants are plain data -- one coefficient vector per
+effective scheduling family plus the calibration report that was measured
+when they were fitted -- and they are only meaningful against the engine
+arithmetic they were fitted to.  The JSON document therefore embeds
+:data:`repro.sim.engine.SIMULATION_KEY_VERSION`: a version bump (any
+result-changing engine edit) invalidates the constants the same way it
+invalidates the persistent cache, and :func:`load_constants` refuses to
+load them until ``repro surrogate fit`` refreshes the golden.
+
+The committed golden lives next to this module (``constants.json``) and is
+what :meth:`repro.surrogate.model.SurrogateModel.load_default` and the
+``fidelity: "multi"`` search mode use out of the box.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Mapping
+
+from repro.sim.engine import SIMULATION_KEY_VERSION
+
+#: Bump on incompatible changes to the constants-document shape.
+CONSTANTS_FORMAT_VERSION = 1
+
+#: The committed golden (refreshed by ``repro surrogate fit``).
+DEFAULT_CONSTANTS_PATH = Path(__file__).parent / "constants.json"
+
+
+#: Wildcard workload key: the pooled per-family fallback vector, fitted on
+#: every row of the (regime, family) group, applied to workloads outside
+#: the calibration suite.
+ANY_WORKLOAD = "*"
+
+
+@dataclass(frozen=True)
+class FamilyConstants:
+    """One fitted correction vector.
+
+    Corrections are keyed three ways: by sampling **regime** (the exact
+    ``SimulationOptions`` the corpus was simulated under -- sampled cycle
+    counts at 1x16 and at 3x64 are different populations and need
+    different corrections), by effective scheduling **family** (``b`` /
+    ``a`` / ``ab``, after Sparse.AB data downgrades), and by **workload**
+    (the network fingerprint -- calibration is against the paper's fixed
+    Table IV suite, and the config x layer-mix interaction is what the
+    per-workload vectors absorb; :data:`ANY_WORKLOAD` marks the pooled
+    fallback).  ``feature_names`` documents (and guards) the feature basis
+    the vector was fitted against: predictions refuse to apply a vector
+    whose basis does not match the code's current one.
+    """
+
+    regime: str
+    family: str
+    workload: str
+    feature_names: tuple[str, ...]
+    theta: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.feature_names) != len(self.theta):
+            raise ValueError(
+                f"family {self.family!r}: {len(self.theta)} coefficients for "
+                f"{len(self.feature_names)} features"
+            )
+
+    def to_dict(self) -> dict:
+        return {
+            "regime": self.regime,
+            "family": self.family,
+            "workload": self.workload,
+            "feature_names": list(self.feature_names),
+            "theta": list(self.theta),
+        }
+
+    @staticmethod
+    def from_dict(data: Mapping) -> "FamilyConstants":
+        return FamilyConstants(
+            regime=str(data["regime"]),
+            family=str(data["family"]),
+            workload=str(data["workload"]),
+            feature_names=tuple(str(n) for n in data["feature_names"]),
+            theta=tuple(float(t) for t in data["theta"]),
+        )
+
+
+@dataclass(frozen=True)
+class SurrogateConstants:
+    """The full fitted-constants document (what ``constants.json`` holds).
+
+    ``report`` records the per-workload calibration errors measured at fit
+    time -- the numbers the error-budget test and ``repro surrogate check``
+    hold the model to; ``corpus`` describes what the fit saw (spaces,
+    workload fingerprints, per-regime sampling options, row counts) so a
+    reader can tell exactly which exact results produced the constants.
+    """
+
+    simulation_key_version: str
+    families: tuple[FamilyConstants, ...]
+    corpus: Mapping
+    report: tuple[Mapping, ...]
+
+    def family(
+        self, regime: str, name: str, workload: str = ANY_WORKLOAD
+    ) -> FamilyConstants:
+        """The correction vector for one (regime, family, workload) key.
+
+        An uncalibrated workload falls back to the regime+family's pooled
+        :data:`ANY_WORKLOAD` vector; an uncalibrated regime or family is
+        an error (the closed form alone is not within budget).
+        """
+        fallback = None
+        for fam in self.families:
+            if fam.regime != regime or fam.family != name:
+                continue
+            if fam.workload == workload:
+                return fam
+            if fam.workload == ANY_WORKLOAD:
+                fallback = fam
+        if fallback is not None:
+            return fallback
+        raise KeyError(
+            f"no fitted constants for scheduling family {name!r} in "
+            f"regime {regime!r} (have "
+            f"{sorted({(f.regime, f.family) for f in self.families})})"
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "format_version": CONSTANTS_FORMAT_VERSION,
+            "simulation_key_version": self.simulation_key_version,
+            "families": [fam.to_dict() for fam in self.families],
+            "corpus": dict(self.corpus),
+            "report": [dict(row) for row in self.report],
+        }
+
+    @staticmethod
+    def from_dict(data: Mapping) -> "SurrogateConstants":
+        fmt = data.get("format_version")
+        if fmt != CONSTANTS_FORMAT_VERSION:
+            raise ValueError(
+                f"surrogate constants use format version {fmt!r}, this "
+                f"toolkit reads {CONSTANTS_FORMAT_VERSION}; refit with "
+                f"'repro surrogate fit'"
+            )
+        return SurrogateConstants(
+            simulation_key_version=str(data["simulation_key_version"]),
+            families=tuple(
+                FamilyConstants.from_dict(fam) for fam in data["families"]
+            ),
+            corpus=dict(data.get("corpus") or {}),
+            report=tuple(dict(row) for row in data.get("report") or ()),
+        )
+
+
+def save_constants(
+    constants: SurrogateConstants, path: str | os.PathLike | None = None
+) -> Path:
+    """Write a constants document (default: the committed golden)."""
+    target = Path(path) if path is not None else DEFAULT_CONSTANTS_PATH
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(json.dumps(constants.to_dict(), indent=2) + "\n")
+    return target
+
+
+def load_constants(path: str | os.PathLike | None = None) -> SurrogateConstants:
+    """Read a constants document, rejecting stale engine versions.
+
+    Raises ``ValueError`` when the document was fitted against a different
+    :data:`SIMULATION_KEY_VERSION` -- fitted constants are exactly as
+    version-bound as cached simulation results, so a version bump
+    invalidates both the same way.
+    """
+    source = Path(path) if path is not None else DEFAULT_CONSTANTS_PATH
+    if not source.exists():
+        raise ValueError(
+            f"no surrogate constants at {source}; fit them first with "
+            f"'repro surrogate fit'"
+        )
+    try:
+        data = json.loads(source.read_text())
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"surrogate constants {source} are not valid JSON: {exc}")
+    constants = SurrogateConstants.from_dict(data)
+    if constants.simulation_key_version != SIMULATION_KEY_VERSION:
+        raise ValueError(
+            f"surrogate constants {source} were fitted against engine "
+            f"version {constants.simulation_key_version!r}, but this engine "
+            f"is {SIMULATION_KEY_VERSION!r}; stale constants cannot be "
+            f"trusted -- refit with 'repro surrogate fit'"
+        )
+    return constants

@@ -76,6 +76,69 @@ class TestErrorReporting:
         assert "unrecognized design" in envelope["error"]["message"]
 
 
+#: One bad input per CLI verb: (argv, expected envelope kind, message
+#: fragment).  Every verb must fail through the shared ``repro.errors``
+#: envelope -- exit code 2, machine-readable kind, actionable message --
+#: so automation wrapping any subcommand can rely on one error shape.
+VERB_BAD_INPUTS = [
+    ("cost", ["cost", "--arch", "NoSuchDesign"],
+     "invalid-request", "unrecognized design"),
+    ("simulate", ["simulate", "--arch", "Dense", "--network", "ResNet5"],
+     "invalid-request", "unknown workload"),
+    ("compare", ["compare", "--category", "DNN.B", "--arch", "NoSuchDesign"],
+     "invalid-request", "unrecognized design"),
+    ("run", ["run", "/no/such/spec.json"],
+     "io-error", "No such file"),
+    ("sweep", ["sweep", "--space", "b", "--quick", "--limit", "1",
+               "--network", "NoSuchNet99"],
+     "invalid-request", "unknown workload"),
+    ("search", ["search", "/no/such/spec.json"],
+     "io-error", "No such file"),
+    ("workloads", ["workloads", "fingerprint", "NoSuchNet99"],
+     "invalid-request", "unknown workload"),
+    ("surrogate-fit", ["surrogate", "fit", "--network", "NoSuchNet99"],
+     "invalid-request", "no calibration workloads"),
+    ("surrogate-check",
+     ["surrogate", "check", "--constants", "/no/such/constants.json"],
+     "invalid-request", "repro surrogate fit"),
+    # 203.0.113.0/24 is TEST-NET-3: never assigned, so the bind fails
+    # immediately and the server never starts serving.
+    ("serve", ["serve", "--host", "203.0.113.7", "--port", "0"],
+     "io-error", "bind"),
+]
+
+
+class TestJsonErrorsAcrossVerbs:
+    @pytest.mark.parametrize(
+        "verb,argv,kind,fragment",
+        VERB_BAD_INPUTS,
+        ids=[case[0] for case in VERB_BAD_INPUTS],
+    )
+    def test_every_verb_fails_through_the_envelope(
+        self, capsys, verb, argv, kind, fragment
+    ):
+        assert main(["--json-errors", *argv]) == 2
+        captured = capsys.readouterr()
+        assert captured.out == ""  # the envelope is the only output
+        envelope = json.loads(captured.err)
+        assert envelope["error"]["v"] == 1
+        assert envelope["error"]["kind"] == kind
+        assert fragment in envelope["error"]["message"]
+
+    @pytest.mark.parametrize(
+        "verb,argv,kind,fragment",
+        VERB_BAD_INPUTS,
+        ids=[case[0] for case in VERB_BAD_INPUTS],
+    )
+    def test_human_mode_keeps_the_stable_prefix(
+        self, capsys, verb, argv, kind, fragment
+    ):
+        assert main(argv) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: ")
+        assert fragment in err
+
+
 class TestCommands:
     def test_cost_command(self, capsys):
         assert main(["cost", "--arch", "B(4,0,1,on)"]) == 0
@@ -321,6 +384,19 @@ class TestSearchCommand:
                      "--cache-dir", str(tmp_path / "cache")]) == 2
         assert "checkpoint" in capsys.readouterr().err
 
+    def test_fidelity_multi_conflicts_with_exact_strategy_flag(self, capsys):
+        assert main(["search", "--space", "b", "--fidelity", "multi",
+                     "--strategy", "evolutionary", "--budget", "4"]) == 2
+        assert "conflicts with --strategy" in capsys.readouterr().err
+
+    def test_fidelity_exact_rejects_a_surrogate_spec(self, capsys, tmp_path):
+        spec_path = tmp_path / "multi.json"
+        spec_path.write_text(json.dumps(
+            {"space": "b", "fidelity": "multi", "strategy": {"budget": 4}}
+        ))
+        assert main(["search", str(spec_path), "--fidelity", "exact"]) == 2
+        assert "add --strategy" in capsys.readouterr().err
+
     def test_exhaustive_override_matches_sweep_selection(
         self, capsys, tmp_path, monkeypatch
     ):
@@ -337,4 +413,53 @@ class TestSearchCommand:
         assert code == 0
         out = capsys.readouterr().out
         assert "evaluated 8 of 8 feasible configs (100.0%)" in out
+        assert "optimal point" in out
+
+
+class TestSurrogateCommand:
+    def test_fit_check_and_multifidelity_search(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        """The full CLI loop: fit constants from this cache, verify the
+        error budget offline, then spend them in a multi-fidelity search."""
+        from repro.sim import engine
+
+        monkeypatch.setattr(engine, "_persistent_cache", None)
+        engine.clear_memo_cache()
+        cache = str(tmp_path / "cache")
+        constants = tmp_path / "constants.json"
+        assert main(
+            ["surrogate", "fit", "--space", "b", "--network", "BERT",
+             "--regime", "quick", "--out", str(constants),
+             "--cache-dir", cache]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "quick" in out and "BERT" in out
+        assert f"wrote fitted surrogate constants to {constants}" in out
+        assert constants.is_file()
+
+        # Offline budget verification: no cache flags, no simulation.
+        assert main(["surrogate", "check", "--constants", str(constants)]) == 0
+        out = capsys.readouterr().out
+        assert "surrogate error budget: OK" in out
+        assert " ok" in out
+
+        engine.clear_memo_cache()
+        spec_path = tmp_path / "multi.json"
+        spec_path.write_text(json.dumps({
+            "name": "cli-multi",
+            "space": "b",
+            "fidelity": "multi",
+            "strategy": {"budget": 4},
+            "networks": ["BERT"],
+            "options": {"passes_per_gemm": 1, "max_t_steps": 16, "seed": 7},
+        }))
+        assert main(
+            ["search", str(spec_path), "--surrogate", str(constants),
+             "--cache-dir", cache]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "evaluated 4 of 42 feasible configs" in out
+        assert ("surrogate screened 42 configs; 4 exact evaluations "
+                "confirmed the shortlist") in out
         assert "optimal point" in out

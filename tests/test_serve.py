@@ -25,7 +25,9 @@ from __future__ import annotations
 
 import asyncio
 import json
+import random
 import socket
+import string
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
@@ -138,6 +140,94 @@ class TestCoalesceKey:
         # quick=True forces (1 pass, 16 steps): identical resolved settings.
         assert run_coalesce_key(spec, quick=True) == \
             run_coalesce_key(quick_spec, quick=None)
+
+
+#: Result-changing spec fields, one parametrized case per field: each
+#: override below MUST split the coalesce key (a collision would hand one
+#: requester another experiment's rows).
+RESULT_CHANGING_OVERRIDES = [
+    ("design", {"designs": ["Griffin"]}),
+    ("design-list", {"designs": ["Dense", "Griffin"]}),
+    ("category", {"categories": ["DNN.dense"]}),
+    ("workload-token", {"networks": ["AlexNet"]}),
+    ("workload-override", {"networks": [TINYCNN + ":weight_density=0.25"]}),
+    ("options-passes", {"options": {"passes_per_gemm": 2, "max_t_steps": 8}}),
+    ("options-max-t", {"options": {"passes_per_gemm": 1, "max_t_steps": 16}}),
+    ("options-seed",
+     {"options": {"passes_per_gemm": 1, "max_t_steps": 8, "seed": 9}}),
+    ("options-stalls",
+     {"options": {"passes_per_gemm": 1, "max_t_steps": 8,
+                  "include_stalls": False}}),
+    ("options-drain",
+     {"options": {"passes_per_gemm": 1, "max_t_steps": 8,
+                  "pipeline_drain": 0}}),
+]
+
+
+class TestCoalesceKeyProperties:
+    """Property-style: the key is a function of result-relevant content
+    only.  Seeded random cosmetic re-dressings (names, titles, JSON key
+    order, serialization whitespace) can never move it; every
+    result-changing field provably splits it."""
+
+    COSMETIC_TRIALS = 32
+
+    def _cosmetic_variant(self, rng: random.Random, spec: dict) -> dict:
+        """A randomly re-dressed copy with identical evaluation content."""
+        letters = string.ascii_letters + string.digits + " -_."
+        mutated = dict(spec)
+        mutated["name"] = "".join(
+            rng.choice(letters) for _ in range(rng.randint(0, 24))
+        )
+        if rng.random() < 0.7:
+            mutated["title"] = "".join(
+                rng.choice(letters) for _ in range(rng.randint(0, 40))
+            )
+        else:
+            mutated.pop("title", None)
+        # Shuffle key order at both nesting levels, then round-trip the
+        # document through a randomly-formatted JSON serialization: key
+        # order and whitespace are exactly what a content-addressed
+        # identity must ignore.
+        items = list(mutated.items())
+        rng.shuffle(items)
+        mutated = dict(items)
+        if "options" in mutated:
+            options = list(dict(mutated["options"]).items())
+            rng.shuffle(options)
+            mutated["options"] = dict(options)
+        text = json.dumps(
+            mutated,
+            indent=rng.choice([None, 1, 2, 4]),
+            separators=rng.choice([None, (",", ":"), (", ", ": ")]),
+        )
+        return json.loads(text)
+
+    def test_cosmetic_mutations_never_change_the_key(self):
+        rng = random.Random(2022)
+        base = run_coalesce_key(ExperimentSpec.from_dict(make_spec()))
+        for trial in range(self.COSMETIC_TRIALS):
+            variant = self._cosmetic_variant(rng, make_spec())
+            spec = ExperimentSpec.from_dict(variant)
+            assert run_coalesce_key(spec) == base, (trial, variant)
+
+    @pytest.mark.parametrize(
+        "field,overrides",
+        RESULT_CHANGING_OVERRIDES,
+        ids=[field for field, _ in RESULT_CHANGING_OVERRIDES],
+    )
+    def test_each_result_changing_field_splits_the_key(self, field, overrides):
+        base = run_coalesce_key(ExperimentSpec.from_dict(make_spec()))
+        changed = ExperimentSpec.from_dict(make_spec(**overrides))
+        split = run_coalesce_key(changed)
+        assert split != base, field
+        # The split is intrinsic to the content, not to this spelling:
+        # cosmetic re-dressings of the changed spec stay on its key.
+        rng = random.Random(hash(field) & 0xFFFF)
+        for _ in range(4):
+            variant = self._cosmetic_variant(rng, make_spec(**overrides))
+            assert run_coalesce_key(ExperimentSpec.from_dict(variant)) == \
+                split, field
 
 
 # ---------------------------------------------------------------------------
