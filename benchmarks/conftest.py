@@ -23,6 +23,7 @@ the named file when the run ends.
 
 import json
 import os
+import sys
 
 import pytest
 
@@ -55,8 +56,27 @@ def session(tmp_path_factory) -> Session:
     yield sess
     stats_path = os.environ.get("REPRO_BENCH_STATS_JSON")
     if stats_path:
+        payload = sess.stats.as_dict()
+        rss_kb = _peak_rss_kb()
+        if rss_kb is not None:
+            payload["max_rss_kb"] = rss_kb
         with open(stats_path, "w") as handle:
-            json.dump(sess.stats.as_dict(), handle, indent=2)
+            json.dump(payload, handle, indent=2)
+
+
+def _peak_rss_kb() -> int | None:
+    """This process's peak resident set size in KB (None where unsupported).
+
+    ``ru_maxrss`` is kilobytes on Linux but bytes on macOS.
+    """
+    try:
+        import resource
+    except ImportError:  # non-POSIX platform
+        return None
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":
+        peak //= 1024
+    return int(peak)
 
 
 def show(text: str) -> None:

@@ -38,6 +38,13 @@ from repro.api import (
     run_experiment,
 )
 from repro.core.overhead import HardwareOverhead, overhead_of
+from repro.obs import (
+    MetricsRegistry,
+    Tracer,
+    current_trace_id,
+    set_tracer,
+    tracing,
+)
 from repro.dse.evaluate import (
     BaselineDesign,
     ConfigDesign,
@@ -143,6 +150,11 @@ __all__ = [
     "evaluate_design",
     "HardwareOverhead",
     "overhead_of",
+    "Tracer",
+    "tracing",
+    "set_tracer",
+    "current_trace_id",
+    "MetricsRegistry",
     "simulate_tile",
     "simulate_layer",
     "simulate_network",

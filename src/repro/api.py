@@ -76,6 +76,7 @@ from repro.dse.evaluate import (
 from repro.dse.explorer import design_space, space_categories
 from repro.dse.report import format_table, sweep_rows
 from repro.hw.cost import CostBreakdown
+from repro.obs import trace as obs
 from repro.runtime.cache import CacheStats, PersistentLayerCache, default_cache_dir
 from repro.runtime.runner import ProgressFn, SweepOutcome, SweepRunner
 from repro.runtime.search import SearchLoopOutcome, run_search_loop
@@ -628,14 +629,22 @@ class Session:
             settings = replace(settings, networks=tuple(networks))
         if not resolved:
             return SweepOutcome((), CacheStats(), self.workers, 0)
-        if self.workers <= 1 or self._inherit:
-            outcome = self._evaluate_serial(resolved, categories, settings, progress)
-        else:
-            outcome = self._ensure_runner().run(
-                resolved, categories, settings, progress=progress
-            )
-            with self._state_lock:
-                self.stats.merge(outcome.cache_stats)
+        with obs.ACTIVE.span(
+            "session.evaluate",
+            designs=len(resolved),
+            categories=len(categories),
+            workers=self.workers,
+        ):
+            if self.workers <= 1 or self._inherit:
+                outcome = self._evaluate_serial(
+                    resolved, categories, settings, progress
+                )
+            else:
+                outcome = self._ensure_runner().run(
+                    resolved, categories, settings, progress=progress
+                )
+                with self._state_lock:
+                    self.stats.merge(outcome.cache_stats)
         return outcome
 
     def _evaluate_serial(
@@ -647,9 +656,15 @@ class Session:
     ) -> SweepOutcome:
         before = self._snapshot()
         evaluations = []
+        tracer = obs.ACTIVE
         with self._scoped():
             for done, design in enumerate(designs, start=1):
-                evaluations.append(evaluate_design(design, categories, settings))
+                with tracer.span(
+                    "evaluate.design", index=done - 1, design=design.label
+                ):
+                    evaluations.append(
+                        evaluate_design(design, categories, settings)
+                    )
                 if progress is not None:
                     progress(done, len(designs))
         return SweepOutcome(
@@ -687,8 +702,11 @@ class Session:
         net = network if isinstance(network, Network) else parse_workload(network).network
         config = as_design(design).config_for(category)
         before = self._snapshot()
-        with self._scoped():
-            result = simulate_network(net, config, category, options)
+        with obs.ACTIVE.span(
+            "session.simulate", network=net.name, category=category.value
+        ):
+            with self._scoped():
+                result = simulate_network(net, config, category, options)
         self._absorb(before)
         return result
 
@@ -710,16 +728,17 @@ class Session:
         """
         spec = ExperimentSpec.coerce(spec)
         categories = spec.resolve_categories()
-        return ExperimentResult(
-            spec=spec,
-            categories=categories,
-            outcome=self.evaluate(
-                spec.resolve_designs(),
-                categories,
-                spec.eval_settings(quick=quick),
-                progress=progress,
-            ),
-        )
+        with obs.ACTIVE.span("session.run", experiment=spec.name):
+            return ExperimentResult(
+                spec=spec,
+                categories=categories,
+                outcome=self.evaluate(
+                    spec.resolve_designs(),
+                    categories,
+                    spec.eval_settings(quick=quick),
+                    progress=progress,
+                ),
+            )
 
     def search(
         self,
@@ -843,15 +862,21 @@ class Session:
         if checkpoint is not None:
             checkpoint_fn = lambda: archive.save(checkpoint)  # noqa: E731
 
-        outcome = run_search_loop(
-            strategy,
-            evaluate_batch,
-            objectives,
-            archive,
-            budget=budget,
-            progress=loop_progress,
-            checkpoint=checkpoint_fn,
-        )
+        with obs.ACTIVE.span(
+            "session.search",
+            space=space.name,
+            strategy=strategy.name,
+            fidelity=fidelity,
+        ):
+            outcome = run_search_loop(
+                strategy,
+                evaluate_batch,
+                objectives,
+                archive,
+                budget=budget,
+                progress=loop_progress,
+                checkpoint=checkpoint_fn,
+            )
         if checkpoint_fn is not None:
             checkpoint_fn()
         describe = getattr(strategy, "describe", None)
@@ -888,7 +913,8 @@ class Session:
         from repro.surrogate import calibrate as _calibrate
         from repro.surrogate import save_constants
 
-        constants = _calibrate(self, spaces, networks, regimes)
+        with obs.ACTIVE.span("session.calibrate"):
+            constants = _calibrate(self, spaces, networks, regimes)
         if save is not None and save is not False:
             save_constants(constants, None if save is True else save)
         return constants

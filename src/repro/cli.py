@@ -69,6 +69,11 @@ from repro import __version__
 from repro.api import ExperimentSpec, Session
 from repro.config import ModelCategory
 from repro.errors import envelope_from_exception, print_error
+from repro.obs import trace as obs_trace
+from repro.obs.chrome import chrome_trace, validate_chrome_trace
+from repro.obs.metrics import MetricsRegistry, cache_metrics
+from repro.obs.report import render_summary, summarize
+from repro.obs.sink import read_trace, write_trace
 from repro.dse.evaluate import EvalSettings, parse_design
 from repro.dse.explorer import DESIGN_SPACES, design_space, space_categories, space_label
 from repro.dse.report import format_table, select_optimal, sweep_rows, sweep_table
@@ -125,6 +130,19 @@ def _cache_line(stats: CacheStats, session: Session) -> str:
         f"layer {stats.layer_hits}h/{stats.layer_misses}m] "
         f"[{session.cache_dir}]"
     )
+
+
+def _print_metrics(stats: CacheStats, extra: dict[str, float] | None = None) -> None:
+    """The ``--metrics`` dump: cache counters (+ run facts) as Prometheus text."""
+    registry = MetricsRegistry()
+    cache_metrics(registry, stats)
+    if extra:
+        gauge = registry.gauge(
+            "repro_cli_run", "Facts about this CLI invocation.", labelnames=("fact",)
+        )
+        for name, value in extra.items():
+            gauge.set(value, fact=name)
+    print(registry.render(), end="")
 
 
 def cmd_simulate(args: argparse.Namespace) -> int:
@@ -217,6 +235,11 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         print(f"optimal point ({sparse_cat.value} vs {dense_cat.value}): {star.label}")
 
     print(_cache_line(outcome.cache_stats, session))
+    if getattr(args, "metrics", False):
+        _print_metrics(
+            outcome.cache_stats,
+            {"design_points": len(outcome), "workers": outcome.workers},
+        )
 
     if args.json_path:
         payload = {
@@ -238,6 +261,14 @@ def cmd_run(args: argparse.Namespace) -> int:
     result = session.run(spec, quick=args.quick or None)
     print(result.table())
     print(_cache_line(result.cache_stats, session))
+    if getattr(args, "metrics", False):
+        _print_metrics(
+            result.cache_stats,
+            {
+                "design_points": len(result.outcome.evaluations),
+                "workers": result.outcome.workers,
+            },
+        )
     if args.json_path:
         with open(args.json_path, "w") as handle:
             json.dump(result.to_dict(), handle, indent=2)
@@ -336,6 +367,11 @@ def cmd_search(args: argparse.Namespace) -> int:
     if args.checkpoint:
         print(f"archive checkpoint: {args.checkpoint}")
     print(_cache_line(result.cache_stats, session))
+    if getattr(args, "metrics", False):
+        _print_metrics(
+            result.cache_stats,
+            {"design_points": result.evaluated, "workers": result.workers},
+        )
 
     if args.json_path:
         with open(args.json_path, "w") as handle:
@@ -444,6 +480,39 @@ def cmd_workloads(args: argparse.Namespace) -> int:
     return args.wl_func(args)
 
 
+def cmd_trace_summarize(args: argparse.Namespace) -> int:
+    """Human report of a recorded trace: critical path, top spans, cache."""
+    meta, spans = read_trace(args.path)
+    summary = summarize(spans, meta)
+    print(render_summary(summary, top_n=args.top))
+    if args.json_path:
+        with open(args.json_path, "w") as handle:
+            json.dump(summary, handle, indent=2, sort_keys=True)
+        print(f"wrote {args.json_path}")
+    return 0
+
+
+def cmd_trace_export(args: argparse.Namespace) -> int:
+    """Convert a trace to Chrome trace-event JSON (Perfetto-loadable)."""
+    if not args.chrome:
+        raise ValueError(
+            "trace export needs an output format; the only one today is "
+            "--chrome (Chrome trace-event JSON, loadable in Perfetto)"
+        )
+    meta, spans = read_trace(args.path)
+    document = chrome_trace(spans, meta=meta)
+    validate_chrome_trace(document)
+    out = args.out or (args.path + ".chrome.json")
+    with open(out, "w") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+    print(f"wrote {out} ({len(document['traceEvents'])} events)")
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    return args.trace_func(args)
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     """Run the always-on evaluation service until SIGINT/SIGTERM."""
     import asyncio
@@ -516,6 +585,18 @@ def build_parser() -> argparse.ArgumentParser:
                 help="print persistent-cache hit/miss statistics",
             )
 
+    def obs_flags(p: argparse.ArgumentParser, metrics: bool = True) -> None:
+        p.add_argument(
+            "--trace", dest="trace_path", default=None, metavar="PATH",
+            help="record a span trace of this command to PATH (JSONL; "
+                 "inspect with `repro trace summarize`)",
+        )
+        if metrics:
+            p.add_argument(
+                "--metrics", action="store_true",
+                help="dump run metrics as Prometheus text after the output",
+            )
+
     workload_help = (
         f"workload token: a registry name ({', '.join(benchmark_names())}), "
         f'a name:override derivation (e.g. "BERT:weight_sparsity=0.9"), '
@@ -581,6 +662,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--limit", type=int, default=0, help="evaluate only the first N design points"
     )
     cache_flags(sweep, stats_flag=False)
+    obs_flags(sweep)
     sweep.add_argument(
         "--json", dest="json_path", default=None,
         help="also write the figure-ready rows to this JSON file",
@@ -606,6 +688,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="smoke sampling override (1 pass per GEMM, 16 time steps)",
     )
     cache_flags(run_, stats_flag=False)
+    obs_flags(run_)
     run_.add_argument(
         "--json", dest="json_path", default=None,
         help="also write the figure-ready rows to this JSON file",
@@ -684,6 +767,7 @@ def build_parser() -> argparse.ArgumentParser:
              "(recorded designs are not re-evaluated)",
     )
     cache_flags(search, stats_flag=False)
+    obs_flags(search)
     search.add_argument(
         "--json", dest="json_path", default=None,
         help="also write the archive/front payload to this JSON file",
@@ -804,20 +888,75 @@ def build_parser() -> argparse.ArgumentParser:
         help="seconds graceful shutdown waits for in-flight work (default 30)",
     )
     cache_flags(serve, stats_flag=False)
+    obs_flags(serve, metrics=False)
     serve.set_defaults(func=cmd_serve)
+
+    trace = sub.add_parser(
+        "trace",
+        help="inspect a recorded span trace: summarize it or export Chrome "
+             "trace-event JSON (docs/observability.md)",
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    trace_sum = trace_sub.add_parser(
+        "summarize",
+        help="print the critical path, top spans by self time, and the "
+             "cache-span breakdown of a trace",
+    )
+    trace_sum.add_argument("path", help="trace file (JSONL or Chrome JSON)")
+    trace_sum.add_argument(
+        "--top", type=int, default=10, help="rows in the top-spans table"
+    )
+    trace_sum.add_argument(
+        "--json", dest="json_path", default=None,
+        help="also write the summary payload to this JSON file",
+    )
+    trace_sum.set_defaults(func=cmd_trace, trace_func=cmd_trace_summarize)
+    trace_exp = trace_sub.add_parser(
+        "export",
+        help="convert a JSONL trace to another format (only --chrome today)",
+    )
+    trace_exp.add_argument("path", help="trace file (JSONL)")
+    trace_exp.add_argument(
+        "--chrome", action="store_true",
+        help="write Chrome trace-event JSON (load in Perfetto or "
+             "chrome://tracing)",
+    )
+    trace_exp.add_argument(
+        "--out", default=None,
+        help="output path (default: <trace>.chrome.json)",
+    )
+    trace_exp.set_defaults(func=cmd_trace, trace_func=cmd_trace_export)
     return parser
 
 
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    trace_path = getattr(args, "trace_path", None)
+    tracer = obs_trace.Tracer() if trace_path else None
+    previous = obs_trace.set_tracer(tracer) if tracer is not None else None
     try:
-        return args.func(args)
-    except (ValueError, OSError) as exc:
-        print_error(
-            envelope_from_exception(exc),
-            as_json=getattr(args, "json_errors", False),
-        )
-        return 2
+        # The error envelope is built inside this block, while the tracer is
+        # still installed, so a traced failure carries its trace_id.
+        try:
+            return args.func(args)
+        except (ValueError, OSError) as exc:
+            print_error(
+                envelope_from_exception(exc),
+                as_json=getattr(args, "json_errors", False),
+            )
+            return 2
+    finally:
+        if tracer is not None:
+            obs_trace.set_tracer(previous)
+            count = write_trace(
+                tracer, trace_path, meta={"command": args.command}
+            )
+            # stderr: stdout stays exactly what an untraced run prints.
+            print(
+                f"wrote trace {trace_path} ({count} spans, "
+                f"trace id {tracer.trace_id})",
+                file=sys.stderr,
+            )
 
 
 if __name__ == "__main__":

@@ -24,6 +24,8 @@ import json
 import sys
 from typing import IO, Mapping
 
+from repro.obs import trace as _obs_trace
+
 #: Envelope schema version (bump on incompatible shape changes).
 ERROR_ENVELOPE_VERSION = 1
 
@@ -55,6 +57,12 @@ def error_envelope(
     }
     if detail is not None:
         error["detail"] = detail
+    # When a tracer is active (--trace on the CLI, a traced server), stamp
+    # its id so the failure correlates with the exported trace.  Untraced
+    # envelopes are byte-for-byte what they always were.
+    trace_id = _obs_trace.current_trace_id()
+    if trace_id is not None:
+        error["trace_id"] = trace_id
     return {"error": error}
 
 

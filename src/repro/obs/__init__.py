@@ -1,0 +1,67 @@
+"""repro.obs: stdlib-only tracing, metrics, and profiling hooks.
+
+One coherent observability layer for the whole stack (see
+``docs/observability.md``):
+
+* :mod:`repro.obs.trace` -- span tracing.  A :class:`Tracer` records a
+  tree of timed spans; the module-level active tracer defaults to a
+  no-op whose ``enabled`` attribute is the *only* cost instrumented hot
+  paths pay when tracing is off.  Worker processes record their own
+  spans and ship them back as plain dicts, re-parented into the
+  session's trace -- tracing never changes evaluation results.
+* :mod:`repro.obs.sink` -- the JSONL trace file (``--trace PATH`` on
+  ``repro run|sweep|search|serve``) and its reader.
+* :mod:`repro.obs.report` -- ``repro trace summarize``: critical path,
+  top spans by self time, and the cache hit/miss breakdown.
+* :mod:`repro.obs.chrome` -- ``repro trace export --chrome``: Chrome
+  trace-event JSON loadable in Perfetto / ``chrome://tracing``.
+* :mod:`repro.obs.metrics` -- the unified metrics registry (counters,
+  gauges, histograms with fixed deterministic bucket edges) behind
+  ``GET /metrics`` on ``repro serve`` and the CLI ``--metrics`` dump.
+"""
+
+from repro.obs.trace import (
+    NOOP,
+    Span,
+    Tracer,
+    current_trace_id,
+    get_tracer,
+    set_tracer,
+    tracing,
+)
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS_MS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    cache_metrics,
+)
+from repro.obs.sink import TRACE_FILE_VERSION, read_trace, write_trace
+from repro.obs.report import render_summary, span_structure, summarize
+from repro.obs.chrome import chrome_trace, spans_from_chrome, validate_chrome_trace
+
+__all__ = [
+    "NOOP",
+    "Span",
+    "Tracer",
+    "current_trace_id",
+    "get_tracer",
+    "set_tracer",
+    "tracing",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_LATENCY_BUCKETS_MS",
+    "cache_metrics",
+    "TRACE_FILE_VERSION",
+    "read_trace",
+    "write_trace",
+    "summarize",
+    "render_summary",
+    "span_structure",
+    "chrome_trace",
+    "spans_from_chrome",
+    "validate_chrome_trace",
+]

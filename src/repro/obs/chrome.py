@@ -1,0 +1,103 @@
+"""Chrome trace-event export: open in Perfetto or ``chrome://tracing``.
+
+Spans become complete (``"ph": "X"``) events with microsecond ``ts`` /
+``dur``.  The span id and parent id ride along in ``args`` so the export
+is lossless: :func:`spans_from_chrome` rebuilds the exact span records
+and ``repro trace summarize`` produces the same report from either file.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.obs.trace import TRACE_SCHEMA_VERSION
+
+_RESERVED_ARGS = ("span_id", "parent_id")
+
+
+def chrome_trace(spans: List[dict], meta: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+    """Build a Chrome trace-event document from span records."""
+    events = []
+    for span in spans:
+        attrs = dict(span.get("attrs") or {})
+        for reserved in _RESERVED_ARGS:
+            attrs.pop(reserved, None)
+        args = {"span_id": span["id"], "parent_id": span.get("parent")}
+        args.update(attrs)
+        events.append(
+            {
+                "name": span["name"],
+                "cat": span["name"].split(".", 1)[0],
+                "ph": "X",
+                "ts": round(span["t0"] * 1e6, 3),
+                "dur": round(max(span["t1"] - span["t0"], 0.0) * 1e6, 3),
+                "pid": 1,
+                "tid": 1,
+                "args": args,
+            }
+        )
+    other: Dict[str, Any] = {"v": TRACE_SCHEMA_VERSION}
+    if meta:
+        other.update(meta)
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": other,
+    }
+
+
+def validate_chrome_trace(document: Any) -> List[dict]:
+    """Check ``document`` against the Chrome trace-event schema.
+
+    Returns the event list on success; raises ``ValueError`` describing
+    the first violation otherwise.
+    """
+    if not isinstance(document, dict):
+        raise ValueError("chrome trace must be a JSON object")
+    events = document.get("traceEvents")
+    if not isinstance(events, list):
+        raise ValueError("chrome trace needs a traceEvents array")
+    for index, event in enumerate(events):
+        if not isinstance(event, dict):
+            raise ValueError("traceEvents[%d] is not an object" % index)
+        phase = event.get("ph")
+        if not isinstance(phase, str) or not phase:
+            raise ValueError("traceEvents[%d] is missing ph" % index)
+        if not isinstance(event.get("name"), str):
+            raise ValueError("traceEvents[%d] is missing name" % index)
+        if not isinstance(event.get("ts"), (int, float)):
+            raise ValueError("traceEvents[%d] is missing numeric ts" % index)
+        if phase == "X" and not isinstance(event.get("dur"), (int, float)):
+            raise ValueError("traceEvents[%d] complete event needs dur" % index)
+        for field in ("pid", "tid"):
+            if not isinstance(event.get(field), (int, str)):
+                raise ValueError("traceEvents[%d] is missing %s" % (index, field))
+    return events
+
+
+def spans_from_chrome(document: Dict[str, Any]) -> Tuple[Dict[str, Any], List[dict]]:
+    """Rebuild ``(meta, spans)`` from a Chrome export of ours."""
+    events = validate_chrome_trace(document)
+    meta = dict(document.get("otherData") or {})
+    spans = []
+    for event in events:
+        if event.get("ph") != "X":
+            continue
+        args = dict(event.get("args") or {})
+        span_id = args.pop("span_id", None)
+        parent_id = args.pop("parent_id", None)
+        if span_id is None:
+            span_id = len(spans) + 1
+        t0 = float(event["ts"]) / 1e6
+        spans.append(
+            {
+                "name": event["name"],
+                "id": span_id,
+                "parent": parent_id,
+                "t0": t0,
+                "t1": t0 + float(event.get("dur", 0.0)) / 1e6,
+                "attrs": args,
+            }
+        )
+    spans.sort(key=lambda span: (span["t0"], span["id"]))
+    return meta, spans

@@ -1,0 +1,388 @@
+"""Unified metrics registry: counters, gauges, histograms.
+
+Stdlib-only, thread-safe, and deterministic: histogram bucket edges are
+fixed at construction (no adaptive resizing), so two runs that observe
+the same values render the same text.  The registry renders both as
+Prometheus text exposition format (``GET /metrics`` on ``repro serve``,
+``--metrics`` on the CLI) and as plain dicts (for ``/stats``).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+# Fixed latency bucket edges, in milliseconds.  Chosen to cover the
+# span from a memoized evaluation (~1 ms) to a cold full-suite search
+# (~tens of seconds); deterministic across runs by construction.
+DEFAULT_LATENCY_BUCKETS_MS: Tuple[float, ...] = (
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+    25.0,
+    50.0,
+    100.0,
+    250.0,
+    500.0,
+    1000.0,
+    2500.0,
+    5000.0,
+    10000.0,
+    30000.0,
+)
+
+_LabelKey = Tuple[str, ...]
+
+
+def _format_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _render_labels(labelnames: Sequence[str], key: _LabelKey, extra: str = "") -> str:
+    parts = [
+        '%s="%s"' % (name, _escape_label(str(value)))
+        for name, value in zip(labelnames, key)
+    ]
+    if extra:
+        parts.append(extra)
+    return "{%s}" % ",".join(parts) if parts else ""
+
+
+class _Metric:
+    """Shared name/help/label plumbing for all metric kinds."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str = "", labelnames: Sequence[str] = ()) -> None:
+        self.name = name
+        self.help = help
+        self.labelnames = tuple(labelnames)
+        self._lock = threading.Lock()
+
+    def _key(self, labels: Dict[str, object]) -> _LabelKey:
+        if set(labels) != set(self.labelnames):
+            raise ValueError(
+                "metric %r expects labels %r, got %r"
+                % (self.name, self.labelnames, tuple(sorted(labels)))
+            )
+        return tuple(str(labels[name]) for name in self.labelnames)
+
+    def header_lines(self) -> List[str]:
+        lines = []
+        if self.help:
+            lines.append("# HELP %s %s" % (self.name, self.help))
+        lines.append("# TYPE %s %s" % (self.name, self.kind))
+        return lines
+
+
+class Counter(_Metric):
+    """Monotonically increasing counter, optionally labelled."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "", labelnames: Sequence[str] = ()) -> None:
+        super().__init__(name, help, labelnames)
+        self._values: Dict[_LabelKey, float] = {}
+        if not self.labelnames:
+            self._values[()] = 0.0
+
+    def inc(self, amount: float = 1.0, **labels: object) -> None:
+        if amount < 0:
+            raise ValueError("counter %r cannot decrease" % self.name)
+        key = self._key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: object) -> float:
+        key = self._key(labels)
+        with self._lock:
+            return self._values.get(key, 0.0)
+
+    def values(self) -> Dict[_LabelKey, float]:
+        with self._lock:
+            return dict(self._values)
+
+    def total(self) -> float:
+        with self._lock:
+            return sum(self._values.values())
+
+    def render(self) -> List[str]:
+        lines = self.header_lines()
+        with self._lock:
+            items = sorted(self._values.items())
+        for key, value in items:
+            lines.append(
+                "%s%s %s"
+                % (self.name, _render_labels(self.labelnames, key), _format_value(value))
+            )
+        return lines
+
+    def as_dict(self) -> Dict[str, float]:
+        with self._lock:
+            return {",".join(key): value for key, value in sorted(self._values.items())}
+
+
+class Gauge(_Metric):
+    """Set-to-current-value gauge, optionally labelled."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = "", labelnames: Sequence[str] = ()) -> None:
+        super().__init__(name, help, labelnames)
+        self._values: Dict[_LabelKey, float] = {}
+        if not self.labelnames:
+            self._values[()] = 0.0
+
+    def set(self, value: float, **labels: object) -> None:
+        key = self._key(labels)
+        with self._lock:
+            self._values[key] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels: object) -> None:
+        key = self._key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def dec(self, amount: float = 1.0, **labels: object) -> None:
+        self.inc(-amount, **labels)
+
+    def value(self, **labels: object) -> float:
+        key = self._key(labels)
+        with self._lock:
+            return self._values.get(key, 0.0)
+
+    def render(self) -> List[str]:
+        lines = self.header_lines()
+        with self._lock:
+            items = sorted(self._values.items())
+        for key, value in items:
+            lines.append(
+                "%s%s %s"
+                % (self.name, _render_labels(self.labelnames, key), _format_value(value))
+            )
+        return lines
+
+    def as_dict(self) -> Dict[str, float]:
+        with self._lock:
+            return {",".join(key): value for key, value in sorted(self._values.items())}
+
+
+class _HistogramState:
+    __slots__ = ("counts", "sum", "count", "max")
+
+    def __init__(self, n_buckets: int) -> None:
+        self.counts = [0] * (n_buckets + 1)  # final slot is +Inf
+        self.sum = 0.0
+        self.count = 0
+        self.max = 0.0
+
+
+class Histogram(_Metric):
+    """Histogram with fixed, deterministic bucket edges.
+
+    Percentiles are estimated by linear interpolation inside the bucket
+    containing the requested rank; the exact observed maximum is kept so
+    ``max`` (and the estimate for the overflow bucket) is precise.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS_MS,
+    ) -> None:
+        super().__init__(name, help, labelnames)
+        edges = tuple(sorted(float(edge) for edge in buckets))
+        if not edges:
+            raise ValueError("histogram %r needs at least one bucket edge" % name)
+        self.buckets = edges
+        self._states: Dict[_LabelKey, _HistogramState] = {}
+        if not self.labelnames:
+            self._states[()] = _HistogramState(len(edges))
+
+    def _state(self, key: _LabelKey) -> _HistogramState:
+        state = self._states.get(key)
+        if state is None:
+            state = self._states.setdefault(key, _HistogramState(len(self.buckets)))
+        return state
+
+    def observe(self, value: float, **labels: object) -> None:
+        key = self._key(labels)
+        value = float(value)
+        with self._lock:
+            state = self._state(key)
+            slot = len(self.buckets)
+            for index, edge in enumerate(self.buckets):
+                if value <= edge:
+                    slot = index
+                    break
+            state.counts[slot] += 1
+            state.sum += value
+            state.count += 1
+            if value > state.max:
+                state.max = value
+
+    def quantile(self, q: float, **labels: object) -> float:
+        """Bucket-interpolated quantile estimate (0 when empty)."""
+        key = self._key(labels)
+        with self._lock:
+            state = self._states.get(key)
+            if state is None or state.count == 0:
+                return 0.0
+            rank = q * state.count
+            cumulative = 0
+            for index, bucket_count in enumerate(state.counts):
+                previous = cumulative
+                cumulative += bucket_count
+                if cumulative >= rank and bucket_count:
+                    lower = self.buckets[index - 1] if index > 0 else 0.0
+                    upper = (
+                        self.buckets[index]
+                        if index < len(self.buckets)
+                        else max(state.max, lower)
+                    )
+                    fraction = (rank - previous) / bucket_count
+                    return lower + (upper - lower) * min(max(fraction, 0.0), 1.0)
+            return state.max
+
+    def summary(self, **labels: object) -> Dict[str, float]:
+        key = self._key(labels)
+        with self._lock:
+            state = self._states.get(key)
+            count = state.count if state else 0
+            total = state.sum if state else 0.0
+            peak = state.max if state else 0.0
+        return {
+            "count": count,
+            "sum": total,
+            "max": peak,
+            "p50": self.quantile(0.5, **labels),
+            "p90": self.quantile(0.9, **labels),
+        }
+
+    def label_keys(self) -> List[_LabelKey]:
+        with self._lock:
+            return sorted(self._states)
+
+    def render(self) -> List[str]:
+        lines = self.header_lines()
+        with self._lock:
+            items = sorted(
+                (key, list(state.counts), state.sum, state.count)
+                for key, state in self._states.items()
+            )
+        for key, counts, total, count in items:
+            cumulative = 0
+            for index, edge in enumerate(self.buckets):
+                cumulative += counts[index]
+                lines.append(
+                    "%s_bucket%s %d"
+                    % (
+                        self.name,
+                        _render_labels(
+                            self.labelnames, key, 'le="%s"' % _format_value(edge)
+                        ),
+                        cumulative,
+                    )
+                )
+            lines.append(
+                '%s_bucket%s %d'
+                % (self.name, _render_labels(self.labelnames, key, 'le="+Inf"'), count)
+            )
+            labels = _render_labels(self.labelnames, key)
+            lines.append("%s_sum%s %s" % (self.name, labels, _format_value(total)))
+            lines.append("%s_count%s %d" % (self.name, labels, count))
+        return lines
+
+    def as_dict(self) -> Dict[str, Dict[str, float]]:
+        return {",".join(key): self.summary(**dict(zip(self.labelnames, key))) for key in self.label_keys()}
+
+
+class MetricsRegistry:
+    """Ordered collection of metrics with get-or-create accessors."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: Dict[str, _Metric] = {}
+
+    def _get_or_create(self, cls: type, name: str, help: str, labelnames: Sequence[str], **kwargs: object) -> _Metric:
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = cls(name, help, labelnames, **kwargs)
+                self._metrics[name] = metric
+                return metric
+        if not isinstance(metric, cls):
+            raise ValueError(
+                "metric %r already registered as %s" % (name, metric.kind)
+            )
+        if metric.labelnames != tuple(labelnames):
+            raise ValueError(
+                "metric %r already registered with labels %r"
+                % (name, metric.labelnames)
+            )
+        return metric
+
+    def counter(self, name: str, help: str = "", labelnames: Sequence[str] = ()) -> Counter:
+        return self._get_or_create(Counter, name, help, labelnames)  # type: ignore[return-value]
+
+    def gauge(self, name: str, help: str = "", labelnames: Sequence[str] = ()) -> Gauge:
+        return self._get_or_create(Gauge, name, help, labelnames)  # type: ignore[return-value]
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS_MS,
+    ) -> Histogram:
+        return self._get_or_create(Histogram, name, help, labelnames, buckets=buckets)  # type: ignore[return-value]
+
+    def metrics(self) -> List[_Metric]:
+        with self._lock:
+            return list(self._metrics.values())
+
+    def render(self) -> str:
+        """Prometheus text exposition format (trailing newline included)."""
+        lines: List[str] = []
+        for metric in self.metrics():
+            lines.extend(metric.render())
+        return "\n".join(lines) + "\n" if lines else ""
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            metric.name: {"kind": metric.kind, "values": metric.as_dict()}
+            for metric in self.metrics()
+        }
+
+
+def cache_metrics(registry: MetricsRegistry, stats: object, prefix: str = "repro_cache") -> None:
+    """Record a ``CacheStats`` snapshot as ``{prefix}_events_total`` counters.
+
+    ``stats`` is duck-typed (anything with the ``CacheStats.as_dict``
+    counter fields) so this module stays free of repro imports.
+    """
+    as_dict = getattr(stats, "as_dict", None)
+    payload = as_dict() if callable(as_dict) else dict(stats)  # type: ignore[arg-type]
+    counter = registry.counter(
+        "%s_events_total" % prefix,
+        "Persistent cache events by tier and outcome.",
+        labelnames=("tier", "event"),
+    )
+    for event in ("hits", "misses", "puts", "errors"):
+        total = int(payload.get(event, 0))
+        network = int(payload.get("network_%s" % event, 0))
+        counter.inc(network, tier="network", event=event)
+        counter.inc(total - network, tier="layer", event=event)

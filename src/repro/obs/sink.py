@@ -1,0 +1,86 @@
+"""JSONL trace files: one meta header line, then one span per line.
+
+Format (``repro-trace-v1``)::
+
+    {"trace": "repro-trace-v1", "v": 1, "trace_id": "...", ...meta}
+    {"name": ..., "id": 1, "parent": null, "t0": 0.01, "t1": 0.5, "attrs": {...}}
+    ...
+
+:func:`read_trace` also accepts Chrome trace-event JSON produced by
+``repro trace export --chrome`` so summaries round-trip through either
+representation.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.obs.trace import TRACE_SCHEMA_VERSION, Tracer
+
+TRACE_FILE_VERSION = "repro-trace-v1"
+
+
+def write_trace(
+    tracer: Tracer,
+    path: "str | Path",
+    meta: Optional[Dict[str, Any]] = None,
+) -> int:
+    """Write the tracer's spans to ``path`` as JSONL; return the span count."""
+    spans = tracer.export()
+    header: Dict[str, Any] = {
+        "trace": TRACE_FILE_VERSION,
+        "v": TRACE_SCHEMA_VERSION,
+        "trace_id": tracer.trace_id,
+        "spans": len(spans),
+    }
+    if meta:
+        header.update(meta)
+    path = Path(path)
+    if path.parent and not path.parent.exists():
+        path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as handle:
+        handle.write(json.dumps(header, sort_keys=True) + "\n")
+        for span in spans:
+            handle.write(json.dumps(span, sort_keys=True) + "\n")
+    return len(spans)
+
+
+def _spans_from_jsonl(lines: List[str]) -> Tuple[Dict[str, Any], List[dict]]:
+    if not lines:
+        raise ValueError("empty trace file")
+    header = json.loads(lines[0])
+    if not isinstance(header, dict) or header.get("trace") != TRACE_FILE_VERSION:
+        raise ValueError(
+            "not a %s trace file (bad header line)" % TRACE_FILE_VERSION
+        )
+    spans = []
+    for number, line in enumerate(lines[1:], start=2):
+        line = line.strip()
+        if not line:
+            continue
+        record = json.loads(line)
+        for field in ("name", "id", "t0", "t1"):
+            if field not in record:
+                raise ValueError("span on line %d is missing %r" % (number, field))
+        record.setdefault("parent", None)
+        record.setdefault("attrs", {})
+        spans.append(record)
+    return header, spans
+
+
+def read_trace(path: "str | Path") -> Tuple[Dict[str, Any], List[dict]]:
+    """Load ``(meta, spans)`` from a JSONL trace or a Chrome export."""
+    text = Path(path).read_text(encoding="utf-8")
+    if not text.strip():
+        raise ValueError("empty trace file: %s" % path)
+    try:
+        document: Any = json.loads(text)
+    except json.JSONDecodeError:
+        document = None  # multi-line JSONL is not one JSON document
+    if isinstance(document, dict) and "traceEvents" in document:
+        from repro.obs.chrome import spans_from_chrome
+
+        return spans_from_chrome(document)
+    return _spans_from_jsonl(text.splitlines())

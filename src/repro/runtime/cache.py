@@ -43,6 +43,7 @@ from pathlib import Path
 
 from repro.config import ModelCategory
 from repro.gemm.layers import GemmShape
+from repro.obs import trace as obs
 from repro.sim.engine import GemmSimResult, LayerSimResult, NetworkSimResult
 
 #: Environment variable overriding the default cache root.
@@ -347,6 +348,14 @@ class PersistentLayerCache:
     # ------------------------------------------------------------------
 
     def get(self, key: str) -> LayerSimResult | None:
+        if not obs.ACTIVE.enabled:
+            return self._get(key)
+        with obs.ACTIVE.span("cache.layer.get", key=key) as span:
+            result = self._get(key)
+            span.set(hit=result is not None)
+        return result
+
+    def _get(self, key: str) -> LayerSimResult | None:
         try:
             result = self._read(self.path_for(key), result_from_dict)
         except _CorruptEntry:
@@ -360,6 +369,12 @@ class PersistentLayerCache:
         return result
 
     def put(self, key: str, result: LayerSimResult) -> None:
+        if not obs.ACTIVE.enabled:
+            return self._put(key, result)
+        with obs.ACTIVE.span("cache.layer.put", key=key):
+            self._put(key, result)
+
+    def _put(self, key: str, result: LayerSimResult) -> None:
         payload = json.dumps(result_to_dict(result), separators=(",", ":"))
         if self._write(self.path_for(key), payload, key):
             self.stats.puts += 1
@@ -371,6 +386,14 @@ class PersistentLayerCache:
     # ------------------------------------------------------------------
 
     def get_network(self, key: str) -> NetworkSimResult | None:
+        if not obs.ACTIVE.enabled:
+            return self._get_network(key)
+        with obs.ACTIVE.span("cache.network.get", key=key) as span:
+            result = self._get_network(key)
+            span.set(hit=result is not None)
+        return result
+
+    def _get_network(self, key: str) -> NetworkSimResult | None:
         try:
             result = self._read(self.network_path_for(key), network_result_from_dict)
         except _CorruptEntry:
@@ -388,6 +411,12 @@ class PersistentLayerCache:
         return result
 
     def put_network(self, key: str, result: NetworkSimResult) -> None:
+        if not obs.ACTIVE.enabled:
+            return self._put_network(key, result)
+        with obs.ACTIVE.span("cache.network.put", key=key):
+            self._put_network(key, result)
+
+    def _put_network(self, key: str, result: NetworkSimResult) -> None:
         payload = json.dumps(network_result_to_dict(result), separators=(",", ":"))
         if self._write(self.network_path_for(key), payload, key):
             self.stats.puts += 1

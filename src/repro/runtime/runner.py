@@ -42,6 +42,7 @@ from repro.dse.evaluate import (
     as_design,
     evaluate_design,
 )
+from repro.obs import trace as obs
 from repro.runtime.cache import CacheStats, PersistentLayerCache, default_cache_dir
 from repro.sim import engine
 
@@ -71,18 +72,43 @@ def _worker_init(cache_dir: str | None) -> None:
 
 def _evaluate_chunk(
     payload: tuple[tuple[int, ...], tuple[Design, ...],
-                   tuple[ModelCategory, ...], EvalSettings],
-) -> tuple[tuple[int, ...], list[DesignEvaluation], dict[str, int]]:
-    """Evaluate one chunk of design points (runs inside a worker process)."""
-    indices, designs, categories, settings = payload
+                   tuple[ModelCategory, ...], EvalSettings, bool],
+) -> tuple[tuple[int, ...], list[DesignEvaluation], dict[str, int], list[dict]]:
+    """Evaluate one chunk of design points (runs inside a worker process).
+
+    When ``traced``, the worker records spans into its own local tracer
+    and ships them back as plain dicts; the parent re-parents them with
+    :meth:`repro.obs.Tracer.absorb` in chunk order.  The flag never
+    reaches the evaluation itself, so results are bitwise-identical
+    either way.
+    """
+    indices, designs, categories, settings, traced = payload
     cache = engine.get_persistent_cache()
     before = cache.stats.snapshot() if isinstance(cache, PersistentLayerCache) else None
-    evaluations = [evaluate_design(design, categories, settings) for design in designs]
+    spans: list[dict] = []
+    if traced:
+        tracer = obs.Tracer()
+        previous = obs.set_tracer(tracer)
+        try:
+            with tracer.span("runner.chunk", first=indices[0], points=len(indices)):
+                evaluations = []
+                for index, design in zip(indices, designs):
+                    with tracer.span("evaluate.design", index=index, design=design.label):
+                        evaluations.append(
+                            evaluate_design(design, categories, settings)
+                        )
+        finally:
+            obs.set_tracer(previous)
+        spans = tracer.export()
+    else:
+        evaluations = [
+            evaluate_design(design, categories, settings) for design in designs
+        ]
     if before is not None:
         stats = cache.stats.delta(before)
     else:
         stats = CacheStats()
-    return indices, evaluations, stats.as_dict()
+    return indices, evaluations, stats.as_dict(), spans
 
 
 def chunk_indices(n_items: int, chunk_size: int) -> list[tuple[int, ...]]:
@@ -238,13 +264,20 @@ class SweepRunner:
         progress: ProgressFn | None,
     ) -> SweepOutcome:
         cache = PersistentLayerCache(self.cache_dir) if self.cache_dir is not None else None
+        tracer = obs.ACTIVE
         # Install the runner's cache -- or explicitly none, so a previously
         # installed global cache cannot leak into a use_cache=False run.
         with engine.persistent_cache(cache):
-            evaluations = []
-            for done, design in enumerate(designs, start=1):
-                evaluations.append(evaluate_design(design, categories, settings))
-                self._report(progress, done, len(designs))
+            with tracer.span("runner.serial", points=len(designs)):
+                evaluations = []
+                for done, design in enumerate(designs, start=1):
+                    with tracer.span(
+                        "evaluate.design", index=done - 1, design=design.label
+                    ):
+                        evaluations.append(
+                            evaluate_design(design, categories, settings)
+                        )
+                    self._report(progress, done, len(designs))
             stats = cache.stats.snapshot() if cache is not None else CacheStats()
             return SweepOutcome(tuple(evaluations), stats, self.workers, 1)
 
@@ -268,23 +301,44 @@ class SweepRunner:
                 initializer=_worker_init,
                 initargs=(self.cache_dir,),
             )
+        tracer = obs.ACTIVE
+        chunk_spans: dict[int, list[dict]] = {}
         try:
-            pending = {
-                pool.submit(
-                    _evaluate_chunk,
-                    (chunk, tuple(designs[i] for i in chunk), categories, settings),
-                )
-                for chunk in chunks
-            }
-            while pending:
-                finished, pending = wait(pending, return_when=FIRST_COMPLETED)
-                for future in finished:
-                    indices, evaluations, chunk_stats = future.result()
-                    for index, evaluation in zip(indices, evaluations):
-                        results[index] = evaluation
-                    stats.merge(CacheStats.from_dict(chunk_stats))
-                    done_points += len(indices)
-                    self._report(progress, done_points, len(designs))
+            with tracer.span(
+                "runner.parallel",
+                points=len(designs),
+                chunks=len(chunks),
+                workers=self.workers,
+            ) as dispatch:
+                pending = {
+                    pool.submit(
+                        _evaluate_chunk,
+                        (
+                            chunk,
+                            tuple(designs[i] for i in chunk),
+                            categories,
+                            settings,
+                            tracer.enabled,
+                        ),
+                    )
+                    for chunk in chunks
+                }
+                while pending:
+                    finished, pending = wait(pending, return_when=FIRST_COMPLETED)
+                    for future in finished:
+                        indices, evaluations, chunk_stats, spans = future.result()
+                        for index, evaluation in zip(indices, evaluations):
+                            results[index] = evaluation
+                        stats.merge(CacheStats.from_dict(chunk_stats))
+                        chunk_spans[indices[0]] = spans
+                        done_points += len(indices)
+                        self._report(progress, done_points, len(designs))
+                if tracer.enabled:
+                    # Absorb worker spans in chunk order -- not completion
+                    # order -- so two traced runs yield structurally
+                    # identical span trees.
+                    for chunk in chunks:
+                        tracer.absorb(chunk_spans.get(chunk[0], []), parent=dispatch)
         finally:
             if not self.keep_pool:
                 pool.shutdown(wait=True)

@@ -23,6 +23,7 @@ from typing import Callable, Protocol, Sequence
 
 from repro.config import ArchConfig
 from repro.dse.evaluate import DesignEvaluation
+from repro.obs import trace as obs
 from repro.runtime.cache import CacheStats
 from repro.search.archive import ParetoArchive
 from repro.search.objectives import ObjectiveSet
@@ -83,8 +84,15 @@ def run_search_loop(
     evaluated = 0
     reused = 0
     replay_streak = 0
+    # Multi-fidelity strategies *screen* with a surrogate inside ask()
+    # and the exact evaluations *confirm*; name the spans accordingly.
+    surrogate = getattr(strategy, "name", "") == "surrogate"
+    ask_span = "search.screen" if surrogate else "search.ask"
+    eval_span = "search.confirm" if surrogate else "search.evaluate"
     while budget is None or len(archive) < budget:
-        asked = strategy.ask()
+        with obs.ACTIVE.span(ask_span, strategy=strategy.name, batch=batches) as span:
+            asked = strategy.ask()
+            span.set(asked=len(asked))
         if not asked:
             break
         # Dedup within the batch; split into archive replays vs fresh work.
@@ -111,7 +119,8 @@ def run_search_loop(
             )
 
         if fresh:
-            evaluations, batch_stats = evaluate_batch(fresh)
+            with obs.ACTIVE.span(eval_span, strategy=strategy.name, fresh=len(fresh)):
+                evaluations, batch_stats = evaluate_batch(fresh)
             stats.merge(batch_stats)
             for config, evaluation in zip(fresh, evaluations):
                 archive.record(

@@ -32,6 +32,7 @@ from typing import Protocol, Sequence, runtime_checkable
 
 from repro.config import ArchConfig
 from repro.dse.pareto import pareto_ranks
+from repro.obs import trace as obs
 from repro.search.space import SearchSpace
 
 #: One told result: the candidate and its maximize-score vector.
@@ -286,7 +287,10 @@ class SurrogateScreenedSearch:
                 "surrogate model) or call .bind(predict) first"
             )
         configs = self.space.configs()
-        scored = [self._predict(config) for config in configs]
+        with obs.ACTIVE.span(
+            "surrogate.screen", configs=len(configs), budget=self.budget
+        ):
+            scored = [self._predict(config) for config in configs]
         self.screened = len(configs)
         ranks = pareto_ranks(scored)
         product = [_product(vector) for vector in scored]

@@ -30,6 +30,7 @@ block and the shared JSON error envelope on failures.
 from __future__ import annotations
 
 import asyncio
+import itertools
 import json
 import signal
 import time
@@ -39,6 +40,7 @@ from typing import Mapping
 from repro import __version__
 from repro.api import Session
 from repro.errors import envelope_from_exception, error_envelope
+from repro.obs import trace as obs
 from repro.runtime.cache import CacheStats
 from repro.serve.coalescer import Computation, RequestCoalescer
 from repro.serve.protocol import (
@@ -106,6 +108,7 @@ class ServeApp:
         )
         self.telemetry = ServeTelemetry()
         self.coalescer = RequestCoalescer()
+        self._request_ids = itertools.count(1)
         self.drain_timeout = drain_timeout
         self._executor = ThreadPoolExecutor(
             max_workers=max(1, compute_threads), thread_name_prefix="serve-compute"
@@ -305,6 +308,22 @@ class ServeApp:
         )
         writer.write(head.encode("latin-1") + body)
 
+    def _send_text(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        text: str,
+        content_type: str = "text/plain; charset=utf-8",
+    ) -> None:
+        body = text.encode("utf-8")
+        head = (
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
+            f"Content-Type: {content_type}\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: close\r\n\r\n"
+        )
+        writer.write(head.encode("latin-1") + body)
+
     def _start_stream(self, writer: asyncio.StreamWriter) -> None:
         writer.write(
             b"HTTP/1.1 200 OK\r\n"
@@ -349,6 +368,12 @@ class ServeApp:
                     writer, 200,
                     self.telemetry.as_dict(self.session.stats.snapshot()),
                 )
+            elif method == "GET" and path == "/metrics":
+                self._send_text(
+                    writer, 200,
+                    self.telemetry.render_prometheus(self.session.stats.snapshot()),
+                    content_type="text/plain; version=0.0.4; charset=utf-8",
+                )
             elif method == "POST" and path == "/shutdown":
                 self._send_json(writer, 200, {"ok": True, "draining": True})
                 self.request_shutdown()
@@ -361,7 +386,8 @@ class ServeApp:
                     return
                 await self._handle_evaluation(writer, path, query, body)
                 return
-            elif path in ("/run", "/search", "/shutdown", "/healthz", "/stats"):
+            elif path in ("/run", "/search", "/shutdown", "/healthz", "/stats",
+                          "/metrics"):
                 self._send_json(writer, 405, error_envelope(
                     "method-not-allowed", f"{method} is not supported on {path}"
                 ))
@@ -370,7 +396,7 @@ class ServeApp:
                 self._send_json(writer, 404, error_envelope(
                     "not-found",
                     f"unknown endpoint {path!r}; try /healthz, /stats, "
-                    f"/run, /search, /shutdown",
+                    f"/metrics, /run, /search, /shutdown",
                 ))
                 self.telemetry.request_failed()
         except RequestError as exc:
@@ -389,46 +415,65 @@ class ServeApp:
         body: bytes,
     ) -> None:
         accepted = time.monotonic()
-        try:
-            if path == "/run":
-                spec, quick, stream = parse_run_request(body, query)
-                key = run_coalesce_key(spec, quick)
+        # Request spans are explicit roots (parent_id=None): concurrent
+        # requests interleave on the one event-loop thread, so the
+        # thread-local parent stack cannot be trusted across awaits.
+        request_id = next(self._request_ids)
+        with obs.ACTIVE.span(
+            "serve.request", parent_id=None, endpoint=path, request_id=request_id
+        ) as req_span:
+            try:
+                if path == "/run":
+                    spec, quick, stream = parse_run_request(body, query)
+                    key = run_coalesce_key(spec, quick)
 
-                def call(progress):
-                    return self.session.run(spec, quick=quick, progress=progress)
+                    def call(progress):
+                        return self.session.run(spec, quick=quick, progress=progress)
 
-                # Shaping is per *request*, not per computation: the
-                # coalesce key ignores name/title, so a coalesced waiter
-                # re-anchors the shared result on its own spec.
-                def shape(result, serve_meta):
-                    return run_payload(result, spec, serve_meta)
+                    # Shaping is per *request*, not per computation: the
+                    # coalesce key ignores name/title, so a coalesced waiter
+                    # re-anchors the shared result on its own spec.
+                    def shape(result, serve_meta):
+                        return run_payload(result, spec, serve_meta)
+                else:
+                    spec, quick, stream = parse_search_request(body, query)
+                    key = search_coalesce_key(spec, quick)
+
+                    def call(progress):
+                        return self.session.search(
+                            spec, quick=quick, progress=progress
+                        )
+
+                    def shape(result, serve_meta):
+                        return search_payload(result, spec, serve_meta)
+            except RequestError:
+                raise
+            except ValueError as exc:
+                raise RequestError(str(exc)) from None
+
+            computation, coalesced = self.coalescer.join(
+                key,
+                lambda comp: self._compute(comp, call, key, req_span.span_id),
+            )
+            if coalesced:
+                self.telemetry.coalesce_hit()
+            req_span.set(key=key, coalesced=coalesced)
+            meta = {"key": key, "coalesced": coalesced, "endpoint": path}
+
+            if stream:
+                await self._answer_streaming(
+                    writer, computation, shape, meta, accepted
+                )
             else:
-                spec, quick, stream = parse_search_request(body, query)
-                key = search_coalesce_key(spec, quick)
+                await self._answer_unary(writer, computation, shape, meta, accepted)
 
-                def call(progress):
-                    return self.session.search(spec, quick=quick, progress=progress)
-
-                def shape(result, serve_meta):
-                    return search_payload(result, spec, serve_meta)
-        except RequestError:
-            raise
-        except ValueError as exc:
-            raise RequestError(str(exc)) from None
-
-        computation, coalesced = self.coalescer.join(
-            key, lambda comp: self._compute(comp, call)
-        )
-        if coalesced:
-            self.telemetry.coalesce_hit()
-        meta = {"key": key, "coalesced": coalesced, "endpoint": path}
-
-        if stream:
-            await self._answer_streaming(writer, computation, shape, meta, accepted)
-        else:
-            await self._answer_unary(writer, computation, shape, meta, accepted)
-
-    async def _compute(self, computation: Computation, call) -> dict:
+    async def _compute(
+        self,
+        computation: Computation,
+        call,
+        key: str | None = None,
+        parent_span_id: int | None = None,
+    ) -> dict:
         """The shared computation body: runs ``call`` on a compute thread."""
         self.telemetry.computation_started()
         enqueued = time.monotonic()
@@ -437,7 +482,13 @@ class ServeApp:
         def work():
             started = time.monotonic()
             timing["queue_s"] = started - enqueued
-            result = call(computation.progress_callback())
+            # The compute span is stitched to the owning request span by
+            # explicit id -- this runs on an executor thread, whose span
+            # stack is empty -- and session/engine spans nest under it.
+            with obs.ACTIVE.span(
+                "serve.compute", parent_id=parent_span_id, key=key
+            ):
+                result = call(computation.progress_callback())
             timing["compute_s"] = time.monotonic() - started
             return result
 
@@ -492,7 +543,10 @@ class ServeApp:
         self._send_json(
             writer, 200, self._result_document(outcome, shape, meta, accepted)
         )
-        self.telemetry.request_completed()
+        self.telemetry.request_completed(
+            endpoint=f"POST {meta['endpoint']}",
+            latency_s=time.monotonic() - accepted,
+        )
 
     async def _answer_streaming(
         self,
@@ -536,6 +590,9 @@ class ServeApp:
             document["event"] = "result"
             await self._send_chunk(writer, document)
             self._end_stream(writer)
-            self.telemetry.request_completed()
+            self.telemetry.request_completed(
+                endpoint=f"POST {meta['endpoint']}",
+                latency_s=time.monotonic() - accepted,
+            )
         finally:
             computation.unsubscribe(queue)

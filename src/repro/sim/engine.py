@@ -33,6 +33,7 @@ import numpy as np
 
 from repro.config import ArchConfig, ModelCategory, sparse_a, sparse_b
 from repro.core.overhead import overhead_of
+from repro.obs import trace as obs
 from repro.gemm.layers import GemmShape
 from repro.gemm.tiling import TileGrid, tile_grid
 from repro.memory.dram import dram_stall_factor, layer_traffic_bytes
@@ -387,10 +388,19 @@ def _simulate_gemm(
     sched_config = _scheduling_config(config, sparsity)
 
     seed = _layer_seed(options.seed, gemm, layer.weight_density, layer.act_density)
-    pairs = _sampled_passes(
-        seed, sparsity.weights, sparsity.activations, gemm, geometry,
-        options.passes_per_gemm, options.max_t_steps,
-    )
+    if obs.ACTIVE.enabled:
+        with obs.ACTIVE.span(
+            "engine.sample_passes", gemm=f"{gemm.m}x{gemm.k}x{gemm.n}"
+        ):
+            pairs = _sampled_passes(
+                seed, sparsity.weights, sparsity.activations, gemm, geometry,
+                options.passes_per_gemm, options.max_t_steps,
+            )
+    else:
+        pairs = _sampled_passes(
+            seed, sparsity.weights, sparsity.activations, gemm, geometry,
+            options.passes_per_gemm, options.max_t_steps,
+        )
     samples = len(pairs)
     n_passes = grid.m_tiles * grid.n_tiles
     full_t = grid.t_steps
@@ -402,8 +412,13 @@ def _simulate_gemm(
     # paying it per tile.
     drain = min(options.pipeline_drain, max(0, seg_t // 4))
     total_cycles = 0.0
-    for tile_cycles in _tile_cycles_batch(sched_config, list(pairs)):
-        total_cycles += (tile_cycles + drain) * scale_t
+    if obs.ACTIVE.enabled:
+        with obs.ACTIVE.span("engine.tile_batch", passes=samples):
+            for tile_cycles in _tile_cycles_batch(sched_config, list(pairs)):
+                total_cycles += (tile_cycles + drain) * scale_t
+    else:
+        for tile_cycles in _tile_cycles_batch(sched_config, list(pairs)):
+            total_cycles += (tile_cycles + drain) * scale_t
 
     mean_cycles = total_cycles / samples
     cycles = mean_cycles * n_passes * gemm.repeats
@@ -622,6 +637,19 @@ def _compute_layer(
         weight_density=weight_density,
         act_density=act_density,
     )
+    if obs.ACTIVE.enabled:
+        with obs.ACTIVE.span("engine.compute_layer", gemms=len(gemms)):
+            return _compute_layer_body(layer, gemms, config, category, options)
+    return _compute_layer_body(layer, gemms, config, category, options)
+
+
+def _compute_layer_body(
+    layer: NetworkLayer,
+    gemms: tuple[GemmShape, ...],
+    config: ArchConfig,
+    category: ModelCategory,
+    options: SimulationOptions,
+) -> LayerSimResult:
     results = []
     cycles = 0.0
     dense = 0
@@ -721,11 +749,24 @@ def simulate_network(
     layer_results = []
     cycles = 0.0
     dense = 0
-    for layer in network.layers:
-        res = simulate_layer(layer, config, category, options)
-        layer_results.append(res)
-        cycles += res.cycles
-        dense += res.dense_cycles
+    if obs.ACTIVE.enabled:
+        with obs.ACTIVE.span(
+            "engine.network_compute",
+            network=network.name,
+            config=config.label,
+            layers=len(network.layers),
+        ):
+            for layer in network.layers:
+                res = simulate_layer(layer, config, category, options)
+                layer_results.append(res)
+                cycles += res.cycles
+                dense += res.dense_cycles
+    else:
+        for layer in network.layers:
+            res = simulate_layer(layer, config, category, options)
+            layer_results.append(res)
+            cycles += res.cycles
+            dense += res.dense_cycles
     result = NetworkSimResult(
         network=network.name,
         config=config.label,

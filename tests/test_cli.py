@@ -463,3 +463,97 @@ class TestSurrogateCommand:
         assert ("surrogate screened 42 configs; 4 exact evaluations "
                 "confirmed the shortlist") in out
         assert "optimal point" in out
+
+
+class TestObservability:
+    """``--trace`` / ``--metrics`` flags and the ``trace`` verb."""
+
+    def run_spec(self, tmp_path) -> str:
+        path = tmp_path / "mini.json"
+        path.write_text(json.dumps(MINI_SPEC))
+        return str(path)
+
+    def test_trace_flag_writes_jsonl_and_keeps_stdout_identical(
+        self, tmp_path, capsys
+    ):
+        spec = self.run_spec(tmp_path)
+        cache = str(tmp_path / "cache")
+        assert main(["run", spec, "--cache-dir", cache]) == 0  # cold warm-up
+        capsys.readouterr()
+        assert main(["run", spec, "--cache-dir", cache]) == 0
+        plain = capsys.readouterr().out
+        trace_path = tmp_path / "run.trace.jsonl"
+        assert main(
+            ["run", spec, "--cache-dir", cache, "--trace", str(trace_path)]
+        ) == 0
+        captured = capsys.readouterr()
+        # Tracing must not perturb what the command prints.
+        assert captured.out == plain
+        assert "wrote trace" in captured.err
+        lines = trace_path.read_text().splitlines()
+        header = json.loads(lines[0])
+        assert header["trace"] == "repro-trace-v1"
+        assert header["command"] == "run"
+        assert header["spans"] == len(lines) - 1 > 0
+        names = {json.loads(line)["name"] for line in lines[1:]}
+        assert "session.run" in names
+        assert "cache.network.get" in names
+
+    def test_trace_summarize_and_chrome_export_round_trip(
+        self, tmp_path, capsys
+    ):
+        spec = self.run_spec(tmp_path)
+        cache = str(tmp_path / "cache")
+        trace_path = tmp_path / "t.jsonl"
+        assert main(
+            ["run", spec, "--cache-dir", cache, "--trace", str(trace_path)]
+        ) == 0
+        assert main(["run", spec, "--cache-dir", cache,
+                     "--trace", str(trace_path)]) == 0  # warm rewrite
+        capsys.readouterr()
+
+        assert main(["trace", "summarize", str(trace_path)]) == 0
+        summary = capsys.readouterr().out
+        assert "trace summary" in summary
+        # Warm run: whole networks from the network tier, no layer lookups.
+        assert "cache spans: network 2h/0m, layer 0h/0m" in summary
+        assert "critical path:" in summary
+
+        out_path = tmp_path / "t.chrome.json"
+        assert main(["trace", "export", str(trace_path), "--chrome",
+                     "--out", str(out_path)]) == 0
+        assert "wrote" in capsys.readouterr().out
+        document = json.loads(out_path.read_text())
+        assert document["traceEvents"]
+        # The Chrome document feeds back through summarize unchanged.
+        assert main(["trace", "summarize", str(out_path)]) == 0
+        assert "cache spans: network 2h/0m, layer 0h/0m" in capsys.readouterr().out
+
+    def test_trace_export_requires_a_format(self, tmp_path, capsys):
+        trace_path = tmp_path / "t.jsonl"
+        trace_path.write_text('{"trace": "repro-trace-v1", "v": 1}\n')
+        assert main(["trace", "export", str(trace_path)]) == 2
+        assert "--chrome" in capsys.readouterr().err
+
+    def test_metrics_flag_dumps_prometheus_text(self, tmp_path, capsys):
+        spec = self.run_spec(tmp_path)
+        assert main(
+            ["run", spec, "--cache-dir", str(tmp_path / "cache"), "--metrics"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_cache_events_total counter" in out
+        assert 'repro_cache_events_total{tier="network",event="puts"} 2' in out
+        assert 'repro_cli_run{fact="design_points"} 2' in out
+
+    def test_traced_failure_envelope_carries_the_trace_id(
+        self, tmp_path, capsys
+    ):
+        trace_path = tmp_path / "fail.jsonl"
+        assert main(
+            ["--json-errors", "run", str(tmp_path / "missing.json"),
+             "--trace", str(trace_path)]
+        ) == 2
+        captured = capsys.readouterr()
+        envelope = json.loads(captured.err.split("wrote trace")[0])
+        header = json.loads(trace_path.read_text().splitlines()[0])
+        assert envelope["error"]["trace_id"] == header["trace_id"]

@@ -1,0 +1,472 @@
+"""Tests for :mod:`repro.obs` -- tracing, metrics, export, and reports.
+
+The load-bearing guarantees:
+
+* **determinism** -- traced results are identical to untraced results
+  (serial and parallel, any worker count: spans never feed simulation
+  inputs or cache keys), and two traced runs of the same command produce
+  structurally identical span trees (ids/timestamps normalized away);
+* **cost** -- the disabled path is a module-attribute check; no tracer
+  object is allocated when tracing is off;
+* **export** -- JSONL round-trips through the sink, Chrome trace-event
+  JSON validates and round-trips losslessly back into span records;
+* **metrics** -- fixed deterministic histogram buckets, Prometheus text
+  rendering that a strict line parser accepts, and the CacheStats
+  bridge splitting unified counters into per-tier series.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import threading
+from pathlib import Path
+
+import pytest
+
+from repro.api import Session
+from repro.config import ModelCategory
+from repro.dse.evaluate import EvalSettings, parse_design
+from repro.obs import trace as trace_mod
+from repro.obs.chrome import chrome_trace, spans_from_chrome, validate_chrome_trace
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS_MS,
+    MetricsRegistry,
+    cache_metrics,
+)
+from repro.obs.report import render_summary, span_structure, summarize
+from repro.obs.sink import read_trace, write_trace
+from repro.obs.trace import (
+    NOOP,
+    NOOP_SPAN,
+    Tracer,
+    current_trace_id,
+    get_tracer,
+    set_tracer,
+    tracing,
+)
+from repro.runtime.cache import CacheStats
+from repro.sim.engine import SimulationOptions
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+TINYCNN = str(REPO_ROOT / "examples" / "workloads" / "tinycnn.json")
+
+CHEAP = SimulationOptions(passes_per_gemm=1, max_t_steps=16, seed=7)
+SETTINGS = EvalSettings(quick=True, options=CHEAP, networks=(TINYCNN,))
+DESIGNS = ("Dense", "B(4,0,1,on)", "Griffin")
+
+
+@pytest.fixture(autouse=True)
+def no_leaked_tracer():
+    """Every test starts and ends with tracing off."""
+    assert get_tracer() is NOOP, "a previous test leaked an active tracer"
+    yield
+    set_tracer(None)
+
+
+def evaluate(tmp_path, workers=0, tracer=None):
+    """One cheap evaluation through the session, optionally traced."""
+    session = Session(cache_dir=str(tmp_path / "cache"), workers=workers)
+    if tracer is None:
+        return session.evaluate(
+            [parse_design(name) for name in DESIGNS],
+            (ModelCategory.B,),
+            SETTINGS,
+        )
+    with tracing(tracer):
+        return session.evaluate(
+            [parse_design(name) for name in DESIGNS],
+            (ModelCategory.B,),
+            SETTINGS,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Tracer core
+
+
+class TestTracer:
+    def test_default_is_noop_and_costs_no_allocation(self):
+        assert trace_mod.ACTIVE is NOOP
+        assert NOOP.enabled is False
+        assert NOOP.trace_id is None
+        # The no-op span is one shared instance: no per-call garbage.
+        assert NOOP.span("x") is NOOP_SPAN
+        assert NOOP.span("y", parent_id=None, attr=1) is NOOP_SPAN
+        with NOOP.span("z") as span:
+            assert span.set(k=1) is span
+            assert span.span_id is None
+        assert NOOP.export() == []
+
+    def test_span_nesting_and_attrs(self):
+        tracer = Tracer(trace_id="t1")
+        with tracer.span("outer", a=1) as outer:
+            with tracer.span("inner") as inner:
+                inner.set(b=2)
+        records = tracer.export()
+        assert [r["name"] for r in records] == ["outer", "inner"]
+        by_name = {r["name"]: r for r in records}
+        assert by_name["outer"]["parent"] is None
+        assert by_name["inner"]["parent"] == by_name["outer"]["id"]
+        assert by_name["outer"]["attrs"] == {"a": 1}
+        assert by_name["inner"]["attrs"] == {"b": 2}
+        assert outer.t1 >= inner.t1 >= inner.t0 >= outer.t0
+
+    def test_explicit_parent_bypasses_stack_but_children_still_nest(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("detached", parent_id=None) as detached:
+                with tracer.span("child"):
+                    pass
+        by_name = {r["name"]: r for r in tracer.export()}
+        assert by_name["detached"]["parent"] is None
+        assert by_name["child"]["parent"] == detached.span_id
+
+    def test_interleaved_exits_do_not_corrupt_the_stack(self):
+        # Two detached spans on one thread, closed out of LIFO order --
+        # the asyncio request-handler pattern.
+        tracer = Tracer()
+        a = tracer.span("a", parent_id=None).__enter__()
+        b = tracer.span("b", parent_id=None).__enter__()
+        a.__exit__(None, None, None)
+        with tracer.span("child-of-b"):
+            pass
+        b.__exit__(None, None, None)
+        by_name = {r["name"]: r for r in tracer.export()}
+        assert by_name["child-of-b"]["parent"] == b.span_id
+
+    def test_stacks_are_thread_local(self):
+        tracer = Tracer()
+        seen = {}
+
+        def worker():
+            with tracer.span("in-thread") as span:
+                seen["parent"] = span.parent_id
+
+        with tracer.span("main"):
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+        # The other thread's span must not have nested under "main".
+        assert seen["parent"] is None
+
+    def test_absorb_remaps_ids_and_reparents_orphans(self):
+        parent = Tracer()
+        with parent.span("dispatch") as dispatch:
+            pass
+        worker = Tracer()
+        with worker.span("chunk"):
+            with worker.span("design"):
+                pass
+        parent.absorb(worker.export(), parent=dispatch)
+        records = parent.export()
+        ids = [r["id"] for r in records]
+        assert len(ids) == len(set(ids)), "absorbed ids must not collide"
+        by_name = {r["name"]: r for r in records}
+        assert by_name["chunk"]["parent"] == dispatch.span_id
+        assert by_name["design"]["parent"] == by_name["chunk"]["id"]
+        # Timestamps were shifted to align with the dispatch span.
+        assert by_name["chunk"]["t0"] == pytest.approx(dispatch.t0)
+
+    def test_set_tracer_returns_previous_and_none_restores_noop(self):
+        tracer = Tracer()
+        assert set_tracer(tracer) is NOOP
+        assert get_tracer() is tracer
+        assert current_trace_id() == tracer.trace_id
+        assert set_tracer(None) is tracer
+        assert get_tracer() is NOOP
+        assert current_trace_id() is None
+
+    def test_tracing_context_manager_restores_on_error(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracing(tracer):
+                assert get_tracer() is tracer
+                raise RuntimeError("boom")
+        assert get_tracer() is NOOP
+
+
+# ---------------------------------------------------------------------------
+# Metrics
+
+
+PROM_SAMPLE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? (\+Inf|-?[0-9.eE+-]+)$"
+)
+
+
+def assert_prometheus_text(text: str) -> None:
+    """Every line is a comment or a well-formed sample line."""
+    assert text.endswith("\n")
+    for line in text.rstrip("\n").splitlines():
+        if line.startswith("# HELP ") or line.startswith("# TYPE "):
+            continue
+        assert PROM_SAMPLE.match(line), f"bad exposition line: {line!r}"
+
+
+class TestMetrics:
+    def test_counter_renders_zero_before_any_increment(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_t_total", "help text")
+        text = registry.render()
+        assert "# HELP repro_t_total help text" in text
+        assert "# TYPE repro_t_total counter" in text
+        assert "repro_t_total 0" in text
+        assert_prometheus_text(text)
+
+    def test_counter_rejects_decrease(self):
+        counter = MetricsRegistry().counter("c_total")
+        with pytest.raises(ValueError, match="cannot decrease"):
+            counter.inc(-1)
+
+    def test_labelled_counter_and_escaping(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c_total", labelnames=("endpoint",))
+        counter.inc(endpoint='POST "/run"\n')
+        line = [
+            l for l in registry.render().splitlines() if not l.startswith("#")
+        ][0]
+        assert line == 'c_total{endpoint="POST \\"/run\\"\\n"} 1'
+
+    def test_label_set_mismatch_raises(self):
+        counter = MetricsRegistry().counter("c_total", labelnames=("tier",))
+        with pytest.raises(ValueError, match="expects labels"):
+            counter.inc(wrong="x")
+
+    def test_gauge_set_inc_dec(self):
+        gauge = MetricsRegistry().gauge("g")
+        gauge.set(5)
+        gauge.inc(2)
+        gauge.dec()
+        assert gauge.value() == 6.0
+
+    def test_histogram_buckets_are_cumulative_and_deterministic(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h_ms", buckets=(1.0, 10.0, 100.0))
+        for value in (0.5, 5.0, 5.0, 50.0, 500.0):
+            hist.observe(value)
+        text = registry.render()
+        assert 'h_ms_bucket{le="1"} 1' in text
+        assert 'h_ms_bucket{le="10"} 3' in text
+        assert 'h_ms_bucket{le="100"} 4' in text
+        assert 'h_ms_bucket{le="+Inf"} 5' in text
+        assert "h_ms_count 5" in text
+        assert "h_ms_sum 560.5" in text
+        assert_prometheus_text(text)
+
+    def test_histogram_quantiles_interpolate_and_max_is_exact(self):
+        hist = MetricsRegistry().histogram("h", buckets=(10.0, 100.0))
+        for value in (1.0, 2.0, 3.0, 250.0):
+            hist.observe(value)
+        summary = hist.summary()
+        assert summary["count"] == 4
+        assert summary["max"] == 250.0
+        assert 0.0 < summary["p50"] <= 10.0
+        # p90 lands in the overflow bucket, bounded by the exact max.
+        assert 100.0 < summary["p90"] <= 250.0
+
+    def test_empty_histogram_summary_is_zeros(self):
+        summary = MetricsRegistry().histogram("h").summary()
+        assert summary == {"count": 0, "sum": 0.0, "max": 0.0, "p50": 0.0, "p90": 0.0}
+
+    def test_default_bucket_edges_are_frozen(self):
+        # The edges are part of the metrics contract: two runs observing
+        # the same values must render the same text.
+        assert DEFAULT_LATENCY_BUCKETS_MS[0] == 1.0
+        assert DEFAULT_LATENCY_BUCKETS_MS[-1] == 30000.0
+        assert list(DEFAULT_LATENCY_BUCKETS_MS) == sorted(DEFAULT_LATENCY_BUCKETS_MS)
+
+    def test_registry_get_or_create_rejects_mismatches(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("x_total", labelnames=("a",))
+        assert registry.counter("x_total", labelnames=("a",)) is counter
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("x_total")
+        with pytest.raises(ValueError, match="labels"):
+            registry.counter("x_total", labelnames=("b",))
+
+    def test_cache_metrics_splits_tiers_from_unified_counters(self):
+        stats = CacheStats(
+            hits=10, misses=4, puts=6, network_hits=7, network_misses=1, network_puts=2
+        )
+        registry = MetricsRegistry()
+        cache_metrics(registry, stats)
+        counter = registry.counter(
+            "repro_cache_events_total", labelnames=("tier", "event")
+        )
+        assert counter.value(tier="network", event="hits") == 7
+        assert counter.value(tier="layer", event="hits") == 3
+        assert counter.value(tier="network", event="misses") == 1
+        assert counter.value(tier="layer", event="misses") == 3
+        assert counter.value(tier="layer", event="puts") == 4
+        assert_prometheus_text(registry.render())
+
+
+# ---------------------------------------------------------------------------
+# Sink + Chrome export
+
+
+class TestExport:
+    def make_trace(self) -> Tracer:
+        tracer = Tracer(trace_id="feedface00000001")
+        with tracer.span("session.run", experiment="fig8"):
+            with tracer.span("cache.network.get", key="k1", hit=True):
+                pass
+            with tracer.span("cache.layer.get", key="k2", hit=False):
+                pass
+        return tracer
+
+    def test_jsonl_round_trip(self, tmp_path):
+        tracer = self.make_trace()
+        path = tmp_path / "deep" / "t.jsonl"
+        count = write_trace(tracer, str(path), meta={"command": "run"})
+        assert count == 3
+        lines = path.read_text().splitlines()
+        header = json.loads(lines[0])
+        assert header["trace_id"] == "feedface00000001"
+        assert header["spans"] == 3
+        assert header["command"] == "run"
+        meta, spans = read_trace(str(path))
+        assert meta["trace_id"] == "feedface00000001"
+        assert spans == tracer.export()
+
+    def test_read_rejects_garbage(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("not json at all\n")
+        with pytest.raises(ValueError):
+            read_trace(str(path))
+
+    def test_chrome_round_trip_preserves_structure_and_attrs(self):
+        tracer = self.make_trace()
+        spans = tracer.export()
+        document = chrome_trace(spans, meta={"trace_id": tracer.trace_id})
+        events = validate_chrome_trace(document)
+        assert len(events) == len(spans)
+        assert all(event["ph"] == "X" for event in events)
+        # Lossless: args carry span/parent ids, so spans rebuild exactly
+        # up to microsecond timestamp rounding.
+        _, rebuilt = spans_from_chrome(document)
+        assert span_structure(rebuilt, with_attrs=True) == span_structure(
+            spans, with_attrs=True
+        )
+
+    def test_chrome_document_is_json_serializable(self):
+        document = chrome_trace(self.make_trace().export())
+        json.dumps(document)
+
+    def test_validate_rejects_schema_violations(self):
+        with pytest.raises(ValueError):
+            validate_chrome_trace([])  # not an object
+        with pytest.raises(ValueError):
+            validate_chrome_trace({"traceEvents": "nope"})
+        with pytest.raises(ValueError):
+            validate_chrome_trace(
+                {"traceEvents": [{"name": "x", "ph": "X", "ts": 0}]}
+            )  # complete event without dur
+
+
+# ---------------------------------------------------------------------------
+# Reports
+
+
+class TestReport:
+    def test_summary_cache_breakdown_and_critical_path(self):
+        tracer = TestExport().make_trace()
+        summary = summarize(tracer.export(), {"trace_id": tracer.trace_id})
+        assert summary["spans"] == 3
+        assert summary["roots"] == 1
+        assert summary["cache"] == {
+            "network": {"hits": 1, "misses": 0, "puts": 0},
+            "layer": {"hits": 0, "misses": 1, "puts": 0},
+        }
+        assert summary["critical_path"][0]["name"] == "session.run"
+        text = render_summary(summary)
+        # CI greps this line -- keep the format stable.
+        assert "cache spans: network 1h/0m, layer 0h/1m (puts: 0 network, 0 layer)" in text
+        assert "critical path:" in text
+        assert "top spans by self time:" in text
+
+    def test_span_structure_normalizes_ids_and_times(self):
+        def build() -> list:
+            tracer = Tracer()
+            with tracer.span("a"):
+                with tracer.span("b", k=1):
+                    pass
+                with tracer.span("c"):
+                    pass
+            return tracer.export()
+
+        first, second = build(), build()
+        # Raw records differ (fresh timestamps each run) ...
+        assert first != second
+        # ... but the structural projection is identical.
+        assert span_structure(first) == span_structure(second)
+        assert span_structure(first, with_attrs=True) == (
+            ("a", (), (("b", (("k", 1),), ()), ("c", (), ()))),
+        )
+
+
+# ---------------------------------------------------------------------------
+# Golden determinism: traced == untraced, through the real session
+
+
+class TestTracedDeterminism:
+    def test_serial_traced_equals_untraced(self, tmp_path):
+        untraced = evaluate(tmp_path / "a")
+        traced = evaluate(tmp_path / "b", tracer=Tracer())
+        assert traced.evaluations == untraced.evaluations
+        assert json.dumps(
+            [e.point(ModelCategory.B).speedup for e in traced.evaluations]
+        ) == json.dumps(
+            [e.point(ModelCategory.B).speedup for e in untraced.evaluations]
+        )
+
+    @pytest.mark.parametrize("workers", [2, 3])
+    def test_parallel_traced_equals_serial_untraced(self, tmp_path, workers):
+        serial = evaluate(tmp_path / "serial")
+        traced = evaluate(tmp_path / "par", workers=workers, tracer=Tracer())
+        assert traced.evaluations == serial.evaluations
+
+    def test_two_traced_serial_runs_have_identical_span_trees(self, tmp_path):
+        first = Tracer()
+        evaluate(tmp_path / "a", tracer=first)
+        second = Tracer()
+        evaluate(tmp_path / "b", tracer=second)
+        assert span_structure(first.export()) == span_structure(second.export())
+
+    def test_two_traced_parallel_runs_have_identical_span_trees(self, tmp_path):
+        # Worker completion order varies; absorb-in-chunk-order makes the
+        # exported tree structurally deterministic anyway.
+        first = Tracer()
+        evaluate(tmp_path / "a", workers=2, tracer=first)
+        second = Tracer()
+        evaluate(tmp_path / "b", workers=2, tracer=second)
+        structure = span_structure(first.export())
+        assert structure == span_structure(second.export())
+        names = {rec["name"] for rec in first.export()}
+        assert "runner.parallel" in names
+        assert "runner.chunk" in names
+        assert "evaluate.design" in names
+
+    def test_warm_run_trace_shows_network_tier_only(self, tmp_path):
+        evaluate(tmp_path)  # cold: populate the cache
+        tracer = Tracer()
+        evaluate(tmp_path, tracer=tracer)  # warm, same cache dir
+        summary = summarize(tracer.export())
+        assert summary["cache"]["network"]["hits"] == len(DESIGNS)
+        assert summary["cache"]["network"]["misses"] == 0
+        # The obs-smoke acceptance bar: zero layer-tier lookups when warm.
+        assert summary["cache"]["layer"] == {"hits": 0, "misses": 0, "puts": 0}
+
+    def test_traced_error_envelope_carries_trace_id(self):
+        from repro.errors import error_envelope
+
+        untraced = error_envelope("invalid-request", "boom")
+        assert "trace_id" not in untraced["error"]
+        tracer = Tracer()
+        with tracing(tracer):
+            traced = error_envelope("invalid-request", "boom")
+        assert traced["error"]["trace_id"] == tracer.trace_id
+        # Identical apart from the id: the untraced shape never changed.
+        del traced["error"]["trace_id"]
+        assert traced == untraced

@@ -680,3 +680,90 @@ class TestBitwiseIdentity:
             json.dumps(cli_payload["rows"], sort_keys=True)
         assert served["categories"] == cli_payload["categories"]
         assert served["experiment"] == cli_payload["experiment"]
+
+
+class TestMetricsEndpoint:
+    """``GET /metrics`` (Prometheus text) and the widened ``/stats``."""
+
+    PROM_SAMPLE_RE = __import__("re").compile(
+        r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? (\+Inf|-?[0-9.eE+-]+)$"
+    )
+
+    def _get_metrics(self, server) -> str:
+        import http.client
+
+        conn = http.client.HTTPConnection(
+            "127.0.0.1", server.app.port, timeout=30.0
+        )
+        try:
+            conn.request("GET", "/metrics")
+            response = conn.getresponse()
+            body = response.read().decode()
+            assert response.status == 200
+            assert response.getheader("Content-Type", "").startswith("text/plain")
+            return body
+        finally:
+            conn.close()
+
+    def test_metrics_parses_as_prometheus_text(self, server):
+        server.client.run(make_spec())
+        text = self._get_metrics(server)
+        for line in text.rstrip("\n").splitlines():
+            if line.startswith("# HELP ") or line.startswith("# TYPE "):
+                continue
+            assert self.PROM_SAMPLE_RE.match(line), f"bad line: {line!r}"
+        assert "# TYPE repro_serve_requests_received_total counter" in text
+        assert 'repro_serve_requests_received_total{endpoint="POST /run"} 1' in text
+        assert "# TYPE repro_serve_compute_ms histogram" in text
+        assert 'repro_serve_compute_ms_bucket{le="+Inf"} 1' in text
+        # The session's cache counters render too (the /metrics scrape in
+        # CI asserts the cold run put results into the network tier).
+        assert 'repro_cache_events_total{tier="network",event="puts"}' in text
+
+    def test_metrics_exposes_the_coalesce_counter(self, server):
+        server.client.run(make_spec())
+        text = self._get_metrics(server)
+        # Eagerly rendered at zero: the serve-smoke scrape can always
+        # assert its presence, hit or not.
+        assert "repro_serve_coalesce_hits_total 0" in text
+        assert "repro_serve_computations_total 1" in text
+
+    def test_stats_keeps_legacy_keys_and_adds_schema_version(self, server):
+        server.client.run(make_spec())
+        stats = server.client.stats()
+        # Legacy shape, pinned since the serve PR.
+        assert stats["v"] == 1
+        assert stats["requests"]["by_endpoint"]["POST /run"] == 1
+        assert stats["coalesce"]["computations"] == 1
+        assert stats["latency"]["compute"]["count"] == 1
+        assert set(stats["latency"]["compute"]) == {
+            "count", "total_ms", "max_ms", "mean_ms",
+        }
+        # Additive schema revision 2.
+        assert stats["schema_version"] == 2
+        assert stats["uptime_s"] >= 0
+        endpoint = stats["latency"]["endpoints"]["POST /run"]
+        assert endpoint["count"] == 1
+        assert endpoint["max_ms"] > 0
+        assert 0 <= endpoint["p50_ms"] <= endpoint["p90_ms"]
+
+    def test_request_spans_stitch_to_compute_spans(self, server):
+        from repro.obs import trace as obs_trace
+        from repro.obs.report import span_structure
+
+        tracer = obs_trace.Tracer()
+        previous = obs_trace.set_tracer(tracer)
+        try:
+            server.client.run(make_spec())
+        finally:
+            obs_trace.set_tracer(previous)
+        spans = tracer.export()
+        by_name = {rec["name"]: rec for rec in spans}
+        assert by_name["serve.request"]["parent"] is None
+        assert by_name["serve.request"]["attrs"]["endpoint"] == "/run"
+        assert by_name["serve.request"]["attrs"]["coalesced"] is False
+        # The compute span ran on an executor thread but is stitched
+        # under its request span by explicit parent id.
+        assert by_name["serve.compute"]["parent"] == by_name["serve.request"]["id"]
+        structure = span_structure(spans)
+        assert structure[0][0] == "serve.request"

@@ -178,6 +178,19 @@ def cache_hit_rate(record: dict) -> float | None:
     return float(hits) / float(lookups)
 
 
+def peak_rss_mb(record: dict) -> float | None:
+    """The module subprocess's peak RSS in MB, ``None`` when unrecorded.
+
+    Optional exactly like ``cache_hit_rate``: snapshots committed before
+    the observability PR have no ``max_rss_mb`` field, and they must keep
+    validating -- the column is informational, never a gate input.
+    """
+    rss = record.get("max_rss_mb")
+    if isinstance(rss, (int, float)) and not isinstance(rss, bool):
+        return float(rss)
+    return None
+
+
 def merge_min_of_n(reports: list[dict]) -> dict:
     """Merge repeated bench reports, keeping the minimum wall per module.
 
@@ -295,6 +308,8 @@ class ModuleTrend:
     note: str = ""
     baseline_hit_rate: float | None = None
     current_hit_rate: float | None = None
+    baseline_rss_mb: float | None = None
+    current_rss_mb: float | None = None
 
     @property
     def ratio(self) -> float | None:
@@ -416,6 +431,14 @@ def compare(
                 cache_hit_rate(measured[row.module])
                 if row.module in measured else None
             ),
+            baseline_rss_mb=(
+                peak_rss_mb(baseline[row.module])
+                if row.module in baseline else None
+            ),
+            current_rss_mb=(
+                peak_rss_mb(measured[row.module])
+                if row.module in measured else None
+            ),
         )
         for row in rows
     ]
@@ -447,22 +470,26 @@ def trend_table(result: GateResult) -> str:
         lines.append("")
     lines += [
         "| module | baseline budget (s) | current (s) | ratio | "
-        "cache hit (base → cur) | status |",
-        "|---|---:|---:|---:|---:|---|",
+        "cache hit (base → cur) | peak RSS MB (base → cur) | status |",
+        "|---|---:|---:|---:|---:|---:|---|",
     ]
 
     def pct(rate: float | None) -> str:
         return f"{100.0 * rate:.0f}%" if rate is not None else "–"
+
+    def mb(rss: float | None) -> str:
+        return f"{rss:.0f}" if rss is not None else "–"
 
     for row in sorted(result.rows, key=lambda r: r.module):
         base = f"{row.baseline_s:.2f}" if row.baseline_s is not None else "–"
         cur = f"{row.current_s:.2f}" if row.current_s is not None else "–"
         ratio = f"x{row.ratio:.2f}" if row.ratio is not None else "–"
         hit = f"{pct(row.baseline_hit_rate)} → {pct(row.current_hit_rate)}"
+        rss = f"{mb(row.baseline_rss_mb)} → {mb(row.current_rss_mb)}"
         icon = _STATUS_ICON.get(row.status, "?")
         note = f" {row.note}" if row.note else ""
         lines.append(
-            f"| {row.module} | {base} | {cur} | {ratio} | {hit} "
+            f"| {row.module} | {base} | {cur} | {ratio} | {hit} | {rss} "
             f"| {icon} {row.status}{note} |"
         )
     lines += [
@@ -471,7 +498,9 @@ def trend_table(result: GateResult) -> str:
         f"absolute floor {ABS_FLOOR_S:.1f}s; budgets are min-of-N walls "
         "scaled by the machine-calibration probe.  Cache hit rates are "
         "persistent-cache hits/(hits+misses) per module ('–' = no cache "
-        "traffic); the gate is informational on this column.",
+        "traffic); peak RSS is the module subprocess's high-water mark "
+        "('–' = recorded before the column existed); the gate is "
+        "informational on both columns.",
         "",
     ]
     return "\n".join(lines)

@@ -112,11 +112,18 @@ def run_module(path: Path, cache_dir: str, timeout: float) -> dict:
         except OSError:
             pass
 
+    max_rss_mb: float | None = None
+    if cache is not None and "max_rss_kb" in cache:
+        # The conftest smuggles the subprocess's peak RSS through the stats
+        # file; it is not a cache counter, so lift it out of the dict.
+        max_rss_mb = round(cache.pop("max_rss_kb") / 1024.0, 1)
+
     return {
         "module": path.stem,
         "passed": returncode == 0,
         "returncode": returncode,
         "wall_s": round(wall_s, 3),
+        "max_rss_mb": max_rss_mb,
         "cache": cache,
         "summary": tail,
         "error": error,
@@ -194,6 +201,7 @@ def main(argv: list[str] | None = None) -> int:
                     "passed": False,
                     "returncode": -2,
                     "wall_s": 0.0,
+                    "max_rss_mb": None,
                     "cache": None,
                     "summary": f"runner error: {exc}",
                     "error": f"{type(exc).__name__}: {exc}",
@@ -201,9 +209,11 @@ def main(argv: list[str] | None = None) -> int:
             status = "ok " if record["passed"] else "FAIL"
             hits = (record["cache"] or {}).get("hits", "?")
             misses = (record["cache"] or {}).get("misses", "?")
+            rss = record.get("max_rss_mb")
             print(
                 f"{status} {record['module']:40s} {record['wall_s']:8.2f}s  "
                 f"cache {hits}h/{misses}m"
+                + (f"  rss {rss:.0f}MB" if rss is not None else "")
             )
             records.append(record)
     finally:
