@@ -104,7 +104,7 @@ from repro.workloads.spec import (
     register_sparsity_profile,
 )
 
-__version__ = "2.1.0"
+__version__ = "2.2.0"
 
 __all__ = [
     "ArchConfig",

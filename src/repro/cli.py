@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Nine subcommands cover the everyday questions, all driving the same
+Ten subcommands cover the everyday questions, all driving the same
 session API (:mod:`repro.api`) so every command shares the parallel
 runner and the two-tier persistent result cache (whole networks, then
 layers -- see ``docs/caching.md``):
@@ -26,7 +26,13 @@ layers -- see ``docs/caching.md``):
   WorkloadSpec JSON files, and print content fingerprints (see
   ``docs/workloads.md``);
 * ``serve``     -- the always-on evaluation service: one warm session
-  behind an HTTP+JSON API with request coalescing (see ``docs/serve.md``).
+  behind an HTTP+JSON API with request coalescing (see ``docs/serve.md``);
+* ``lint``      -- the AST-based invariant checker (:mod:`repro.lint`):
+  determinism rules for result-affecting modules, cache-key-version drift
+  detection against a committed manifest, and lock hygiene for the
+  concurrent layers (see ``docs/lint.md``).  ``repro lint
+  refresh-manifest`` re-records the key manifest after an acknowledged
+  change.
 
 ``repro --version`` prints the toolkit version; ``repro --json-errors``
 switches error reporting from the one-line ``error: ...`` stderr format
@@ -55,6 +61,8 @@ Examples::
     python -m repro workloads validate examples/workloads/*.json
     python -m repro workloads fingerprint ResNet50 "BERT:weight_sparsity=0.9"
     python -m repro serve --port 8757 --workers 4
+    python -m repro lint
+    python -m repro lint --json --rule DET001 src/repro/sim
 """
 
 from __future__ import annotations
@@ -68,7 +76,7 @@ from typing import Sequence
 from repro import __version__
 from repro.api import ExperimentSpec, Session
 from repro.config import ModelCategory
-from repro.errors import envelope_from_exception, print_error
+from repro.errors import envelope_from_exception, error_envelope, print_error
 from repro.obs import trace as obs_trace
 from repro.obs.chrome import chrome_trace, validate_chrome_trace
 from repro.obs.metrics import MetricsRegistry, cache_metrics
@@ -552,6 +560,48 @@ def cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    """Run the static invariant checker (or refresh the key manifest)."""
+    from repro.lint import default_root, refresh_manifest, run_lint
+
+    root = default_root()
+    paths = list(args.paths)
+    if paths and paths[0] == "refresh-manifest":
+        if len(paths) > 1 or args.rules:
+            raise ValueError(
+                "`repro lint refresh-manifest` takes no paths or --rule flags"
+            )
+        manifest = refresh_manifest(root)
+        versions = ", ".join(
+            f"{name}={entry['key_version']}"
+            for name, entry in sorted(manifest["entries"].items())
+        )
+        print(f"refreshed src/repro/lint/key_manifest.json ({versions})")
+        return 0
+
+    codes = {code.upper() for code in args.rules} if args.rules else None
+    report = run_lint(root, paths=paths or None, codes=codes)
+    if args.json:
+        if report.clean:
+            payload: dict = report.as_dict()
+        else:
+            payload = error_envelope(
+                "lint-findings",
+                f"{len(report.findings)} lint finding(s)",
+                detail=report.as_dict(),
+            )
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        for finding in report.findings:
+            print(finding.format())
+        status = "clean" if report.clean else f"{len(report.findings)} finding(s)"
+        print(
+            f"repro lint: {status} "
+            f"({report.files_checked} files, {report.waived} waived)"
+        )
+    return 0 if report.clean else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="Griffin (HPCA 2022) reproduction toolkit"
@@ -926,6 +976,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="output path (default: <trace>.chrome.json)",
     )
     trace_exp.set_defaults(func=cmd_trace, trace_func=cmd_trace_export)
+
+    lint = sub.add_parser(
+        "lint",
+        help="run the AST-based invariant checker (determinism, key-version "
+             "drift, lock hygiene -- docs/lint.md); `repro lint "
+             "refresh-manifest` re-records the key manifest",
+    )
+    lint.add_argument(
+        "paths", nargs="*", metavar="PATH",
+        help="files or directories to lint (default: the whole src/ tree); "
+             "the special first token `refresh-manifest` recomputes "
+             "src/repro/lint/key_manifest.json instead",
+    )
+    lint.add_argument(
+        "--rule", dest="rules", action="append", default=[], metavar="CODE",
+        help="restrict to one rule code (repeatable), e.g. --rule DET001",
+    )
+    lint.add_argument(
+        "--json", action="store_true",
+        help="emit machine-readable findings (the repro.errors envelope "
+             "with the full report as detail; plain report when clean)",
+    )
+    lint.set_defaults(func=cmd_lint)
     return parser
 
 

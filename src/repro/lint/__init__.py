@@ -1,0 +1,51 @@
+"""``repro.lint`` -- AST-based invariant checker.
+
+Statically enforces the repo's load-bearing guarantees: determinism of
+result-affecting modules (``DET001``-``DET004``), cache-key-version
+discipline against a committed manifest (``KEY001``/``KEY002``), and
+lock hygiene in the concurrent layers (``LOCK001``).  See ``docs/lint.md``
+for the rule catalogue and ``repro lint --help`` for the CLI.
+"""
+
+from repro.lint.checker import LintReport, collect_files, default_root, run_lint
+from repro.lint.framework import (
+    LINT_SCHEMA_VERSION,
+    RULES,
+    Finding,
+    ModuleSource,
+    Rule,
+    known_codes,
+    parse_waivers,
+    rules_for_codes,
+)
+from repro.lint.manifest import (
+    MANIFEST_ENTRIES,
+    canonical_source_hash,
+    compute_manifest,
+    load_manifest,
+    manifest_is_fresh,
+    module_set_hash,
+    refresh_manifest,
+)
+
+__all__ = [
+    "LINT_SCHEMA_VERSION",
+    "MANIFEST_ENTRIES",
+    "RULES",
+    "Finding",
+    "LintReport",
+    "ModuleSource",
+    "Rule",
+    "canonical_source_hash",
+    "collect_files",
+    "compute_manifest",
+    "default_root",
+    "known_codes",
+    "load_manifest",
+    "manifest_is_fresh",
+    "module_set_hash",
+    "parse_waivers",
+    "refresh_manifest",
+    "rules_for_codes",
+    "run_lint",
+]

@@ -1,0 +1,234 @@
+"""Determinism rules (``DET*``) for result-affecting modules.
+
+The repo's load-bearing guarantees -- parallel == serial bitwise,
+content-addressed caching, RNG-free surrogate calibration -- all reduce to
+one property: everything that feeds a result, a cache key, a fingerprint,
+or serialized output must be a pure function of its declared inputs.
+These rules forbid the classic leaks statically, in the modules whose
+outputs are keyed and compared (``sim/``, ``surrogate/``, ``search/``,
+``workloads/``, and the persistent cache):
+
+* **DET001** -- wall-clock reads (``time.time``, ``datetime.now``,
+  ``perf_counter``...): a timestamp in a result or key breaks replay.
+* **DET002** -- unseeded or process-global RNG (``random.random()``,
+  ``np.random.rand()``, ``np.random.default_rng()`` with no seed): draws
+  depend on interpreter-global state and call order across workers.
+  Seeded construction (``random.Random(seed)``,
+  ``np.random.default_rng(seed)``) is the sanctioned form.
+* **DET003** -- iterating a bare ``set`` (literal, ``set(...)`` call, or
+  ``list(set(...))``): iteration order is salted per process.  Membership
+  tests are fine; iterate ``sorted(...)`` instead.
+* **DET004** -- unsorted filesystem enumeration (``os.listdir``,
+  ``os.scandir``, ``glob.glob``, ``Path.glob/rglob/iterdir``): directory
+  order is filesystem-dependent.  Wrap the call in ``sorted(...)``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.framework import (
+    Finding,
+    ModuleSource,
+    Rule,
+    import_aliases,
+    register,
+    resolve_call_target,
+)
+
+#: Result-affecting modules (repo-relative prefixes).
+DETERMINISM_SCOPE = (
+    "src/repro/sim/",
+    "src/repro/surrogate/",
+    "src/repro/search/",
+    "src/repro/workloads/",
+    "src/repro/runtime/cache.py",
+)
+
+#: Canonical dotted paths of wall-clock reads.
+WALL_CLOCK_CALLS = frozenset({
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.process_time",
+    "time.process_time_ns",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+})
+
+#: RNG constructors that are fine *seeded* and findings unseeded.
+SEEDED_RNG_CONSTRUCTORS = frozenset({
+    "random.Random",
+    "numpy.random.default_rng",
+    "numpy.random.RandomState",
+    "numpy.random.Generator",
+})
+
+#: Module-global RNG namespaces: any call below these is a finding.
+GLOBAL_RNG_PREFIXES = ("random.", "numpy.random.")
+
+#: Filesystem enumerators with filesystem-dependent order.
+FS_ENUM_CALLS = frozenset({
+    "os.listdir",
+    "os.scandir",
+    "glob.glob",
+    "glob.iglob",
+})
+
+#: Method names whose call on *any* receiver enumerates a directory.
+FS_ENUM_METHODS = frozenset({"glob", "rglob", "iterdir"})
+
+
+class _DeterminismRule(Rule):
+    scope = DETERMINISM_SCOPE
+
+    def finding(self, module: ModuleSource, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            path=module.relpath,
+            line=getattr(node, "lineno", 1),
+            rule=self.code,
+            message=message,
+        )
+
+
+@register
+class WallClockRule(_DeterminismRule):
+    code = "DET001"
+    name = "no-wall-clock"
+    summary = "wall-clock reads are forbidden in result-affecting modules"
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        aliases = import_aliases(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = resolve_call_target(node, aliases)
+            if target in WALL_CLOCK_CALLS:
+                yield self.finding(
+                    module, node,
+                    f"wall-clock read {target}() in a result-affecting "
+                    f"module; results must be pure functions of their "
+                    f"declared inputs",
+                )
+
+
+@register
+class UnseededRngRule(_DeterminismRule):
+    code = "DET002"
+    name = "no-global-rng"
+    summary = "only explicitly seeded RNG generators are allowed"
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        aliases = import_aliases(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = resolve_call_target(node, aliases)
+            if target is None:
+                continue
+            if target in SEEDED_RNG_CONSTRUCTORS:
+                if not node.args and not node.keywords:
+                    yield self.finding(
+                        module, node,
+                        f"{target}() constructed without a seed; pass an "
+                        f"explicit seed so every worker draws the same "
+                        f"stream",
+                    )
+                continue
+            if any(target.startswith(prefix) for prefix in GLOBAL_RNG_PREFIXES):
+                yield self.finding(
+                    module, node,
+                    f"{target}() draws from process-global RNG state; "
+                    f"construct a seeded Generator "
+                    f"(np.random.default_rng(seed) / random.Random(seed)) "
+                    f"and thread it through",
+                )
+
+
+def _is_set_expr(node: ast.AST) -> bool:
+    """A set literal, set comprehension, or ``set(...)``/``frozenset(...)``."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in ("set", "frozenset")
+    return False
+
+
+@register
+class SetIterationRule(_DeterminismRule):
+    code = "DET003"
+    name = "no-set-iteration"
+    summary = "iterating a bare set has salted, per-process order"
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        advice = (
+            "set iteration order is salted per process; iterate "
+            "sorted(...) instead"
+        )
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.For) and _is_set_expr(node.iter):
+                yield self.finding(module, node.iter, advice)
+            elif isinstance(node, (ast.ListComp, ast.GeneratorExp, ast.DictComp)):
+                for comp in node.generators:
+                    if _is_set_expr(comp.iter):
+                        yield self.finding(module, comp.iter, advice)
+            elif isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+                # list(set(x)) / tuple(set(x)): an ordered sequence built
+                # straight from salted order.  sorted(set(x)) is the fix.
+                if node.func.id in ("list", "tuple") and node.args:
+                    if _is_set_expr(node.args[0]):
+                        yield self.finding(
+                            module, node,
+                            f"{node.func.id}(set(...)) freezes salted set "
+                            f"order into a sequence; use sorted(...)",
+                        )
+
+
+@register
+class UnsortedFsEnumRule(_DeterminismRule):
+    code = "DET004"
+    name = "sorted-fs-enumeration"
+    summary = "directory enumeration must be wrapped in sorted(...)"
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        aliases = import_aliases(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = resolve_call_target(node, aliases)
+            enumerator: str | None = None
+            if target in FS_ENUM_CALLS:
+                enumerator = target
+            elif (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in FS_ENUM_METHODS
+                and target not in FS_ENUM_CALLS  # already handled above
+            ):
+                enumerator = f".{node.func.attr}"
+            if enumerator is None:
+                continue
+            if self._sorted_wraps(module, node):
+                continue
+            yield self.finding(
+                module, node,
+                f"{enumerator}(...) enumerates in filesystem order; wrap "
+                f"the call in sorted(...) so downstream keys, fingerprints "
+                f"and serialized output are stable",
+            )
+
+    @staticmethod
+    def _sorted_wraps(module: ModuleSource, node: ast.Call) -> bool:
+        """True when the enumeration is an immediate argument of sorted()."""
+        parent = module.parents.get(node)
+        return (
+            isinstance(parent, ast.Call)
+            and isinstance(parent.func, ast.Name)
+            and parent.func.id == "sorted"
+            and node in parent.args
+        )

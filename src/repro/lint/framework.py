@@ -1,0 +1,238 @@
+"""The rule framework behind ``repro lint``.
+
+Every rule is a small object with a stable **code** (``DET001``,
+``KEY001``, ``LOCK001``, ...), a repo-relative **scope** (the path
+prefixes it applies to), and a ``check`` hook that yields
+:class:`Finding`s from one parsed module.  Rules register themselves into
+the module-level :data:`RULES` list at import time (see
+:mod:`repro.lint.determinism`, :mod:`repro.lint.locks`,
+:mod:`repro.lint.manifest`); the checker (:mod:`repro.lint.checker`)
+drives them over the tree.
+
+Findings are *waivable* inline::
+
+    entries = list(path.iterdir())  # repro: lint-ok[DET004] order logged, not keyed
+
+The marker waives the named code(s) on its own line, or -- when written
+as a standalone comment line -- on the line directly below, so long
+statements stay readable.  Waivers name explicit codes; there is no
+blanket ``lint-ok`` (a waiver should say exactly which invariant it is
+opting out of, and why).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator
+
+#: Bump on incompatible changes to the ``repro lint --json`` payload.
+LINT_SCHEMA_VERSION = 1
+
+#: ``# repro: lint-ok[DET001]`` / ``# repro: lint-ok[DET001, LOCK001] why``.
+_WAIVER_RE = re.compile(
+    r"#\s*repro:\s*lint-ok\[\s*([A-Z]+\d+(?:\s*,\s*[A-Z]+\d+)*)\s*\]"
+)
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One lint violation: rule code, repo-relative path, line, message."""
+
+    path: str
+    line: int
+    rule: str
+    message: str
+
+    def format(self) -> str:
+        """The human one-liner: ``path:line: CODE message``."""
+        return f"{self.path}:{self.line}: {self.rule} {self.message}"
+
+    def as_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+        }
+
+
+def parse_waivers(source: str) -> dict[int, frozenset[str]]:
+    """Map 1-based line number -> rule codes waived on that line.
+
+    A marker waives its own physical line; a line holding nothing but the
+    comment also waives the next line (the statement it annotates).
+    """
+    waivers: dict[int, set[str]] = {}
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        match = _WAIVER_RE.search(text)
+        if match is None:
+            continue
+        codes = {code.strip() for code in match.group(1).split(",")}
+        waivers.setdefault(lineno, set()).update(codes)
+        if text[: match.start()].strip() == "":  # standalone comment line
+            waivers.setdefault(lineno + 1, set()).update(codes)
+    return {line: frozenset(codes) for line, codes in waivers.items()}
+
+
+@dataclass
+class ModuleSource:
+    """One parsed source file, shared by every rule that inspects it."""
+
+    relpath: str  # repo-relative, "/"-separated
+    source: str
+    tree: ast.Module
+    waivers: dict[int, frozenset[str]] = field(default_factory=dict)
+    _parents: dict[ast.AST, ast.AST] | None = None
+
+    @classmethod
+    def load(cls, path: Path, relpath: str) -> "ModuleSource":
+        source = path.read_text()
+        return cls.parse(source, relpath)
+
+    @classmethod
+    def parse(cls, source: str, relpath: str) -> "ModuleSource":
+        tree = ast.parse(source, filename=relpath)
+        return cls(
+            relpath=relpath,
+            source=source,
+            tree=tree,
+            waivers=parse_waivers(source),
+        )
+
+    @property
+    def parents(self) -> dict[ast.AST, ast.AST]:
+        """Child node -> parent node over the whole tree (lazy, cached)."""
+        if self._parents is None:
+            parents: dict[ast.AST, ast.AST] = {}
+            for node in ast.walk(self.tree):
+                for child in ast.iter_child_nodes(node):
+                    parents[child] = node
+            self._parents = parents
+        return self._parents
+
+    def waived(self, finding: Finding) -> bool:
+        codes = self.waivers.get(finding.line)
+        return codes is not None and finding.rule in codes
+
+
+class Rule:
+    """Base class: one invariant, one stable primary code.
+
+    ``codes`` lists every code the rule can emit (usually just the
+    primary); ``scope`` is the tuple of repo-relative path prefixes the
+    rule applies to when walking the tree.  Explicitly named files
+    *outside* every rule's scope get all file rules (how fixtures and
+    one-off snippets are linted -- see ``checker.lint_paths``).
+    """
+
+    code: str = ""
+    name: str = ""
+    summary: str = ""
+    scope: tuple[str, ...] = ()
+    #: True for rules checked once per repo, not once per file.
+    repo_level: bool = False
+
+    @property
+    def codes(self) -> tuple[str, ...]:
+        return (self.code,)
+
+    def applies_to(self, relpath: str) -> bool:
+        return any(
+            relpath == prefix or relpath.startswith(prefix)
+            for prefix in self.scope
+        )
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        """Yield findings for one module (file-level rules)."""
+        return iter(())
+
+    def check_repo(self, root: Path) -> Iterator[Finding]:
+        """Yield findings for the whole tree (repo-level rules)."""
+        return iter(())
+
+
+#: The rule registry, populated by the rule modules at import time.
+RULES: list[Rule] = []
+
+
+def register(rule_cls: type[Rule]) -> type[Rule]:
+    """Class decorator: instantiate and add to :data:`RULES` (idempotent)."""
+    if not any(type(rule) is rule_cls for rule in RULES):
+        RULES.append(rule_cls())
+    return rule_cls
+
+
+def known_codes() -> tuple[str, ...]:
+    """Every registered rule code, sorted."""
+    codes: set[str] = set()
+    for rule in RULES:
+        codes.update(rule.codes)
+    return tuple(sorted(codes))
+
+
+def rules_for_codes(codes: set[str] | None) -> list[Rule]:
+    """The registered rules emitting any of ``codes`` (all when ``None``)."""
+    if codes is None:
+        return list(RULES)
+    unknown = codes - set(known_codes())
+    if unknown:
+        raise ValueError(
+            f"unknown lint rule {', '.join(sorted(unknown))!s}; "
+            f"known rules: {', '.join(known_codes())}"
+        )
+    return [rule for rule in RULES if set(rule.codes) & codes]
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def import_aliases(tree: ast.Module) -> dict[str, str]:
+    """Local name -> canonical dotted path, from the module's imports.
+
+    Covers ``import numpy as np`` (``np`` -> ``numpy``), ``import
+    numpy.random as npr``, and ``from datetime import datetime as dt``
+    (``dt`` -> ``datetime.datetime``).  Only top-level-ish imports matter
+    for the rules here, but the walk sees nested ones too.
+    """
+    aliases: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".")[0]
+                target = alias.name if alias.asname else alias.name.split(".")[0]
+                aliases[local] = target
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                aliases[local] = f"{node.module}.{alias.name}"
+    return aliases
+
+
+def resolve_call_target(node: ast.Call, aliases: dict[str, str]) -> str | None:
+    """The canonical dotted path a call resolves to, through import aliases.
+
+    ``np.random.default_rng(...)`` with ``import numpy as np`` resolves to
+    ``numpy.random.default_rng``; a bare ``time()`` after ``from time
+    import time`` resolves to ``time.time``.  Returns ``None`` for calls
+    whose target is not a plain name/attribute chain.
+    """
+    dotted = dotted_name(node.func)
+    if dotted is None:
+        return None
+    head, _, rest = dotted.partition(".")
+    canonical_head = aliases.get(head, head)
+    return f"{canonical_head}.{rest}" if rest else canonical_head

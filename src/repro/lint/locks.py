@@ -1,0 +1,154 @@
+"""Lock-hygiene rule (``LOCK001``) for the concurrent layers.
+
+Classes in the serving and runtime layers that are shared across threads
+declare their discipline in code: an attribute named ``*lock``
+(``_lock``, ``_state_lock``, ``_cache_lock``) assigned a
+``threading.Lock``/``RLock`` in ``__init__``.  This rule makes the
+declaration enforceable: in any such class, an instance-attribute write
+(``self.x = ...``, ``self.x += ...``) outside ``__init__`` must happen
+lexically inside a ``with self.<lock>:`` block (or ``async with``), or
+carry an explicit ``# repro: lint-ok[LOCK001] reason`` waiver.
+
+Classes that do not declare a lock are exempt -- the serve app, for
+example, is serialized by the asyncio event loop and says so in its
+docstrings rather than with a mutex.  The rule checks writes, not reads:
+the repo's shared state is monotonic counters and swap-on-close handles,
+where unlocked reads are deliberate and cheap but an unlocked write is
+always a bug.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.framework import (
+    Finding,
+    ModuleSource,
+    Rule,
+    dotted_name,
+    register,
+)
+
+#: Thread-shared layers (repo-relative prefixes).
+LOCK_SCOPE = (
+    "src/repro/serve/",
+    "src/repro/runtime/runner.py",
+    "src/repro/api.py",
+)
+
+#: Constructor names that mark an attribute as a mutex.
+_LOCK_CONSTRUCTORS = frozenset({
+    "threading.Lock",
+    "threading.RLock",
+    "Lock",
+    "RLock",
+    "asyncio.Lock",
+})
+
+
+def _lock_attrs(cls: ast.ClassDef) -> frozenset[str]:
+    """Attribute names the class assigns a Lock/RLock to (its declared locks)."""
+    locks: set[str] = set()
+    for node in ast.walk(cls):
+        if not isinstance(node, ast.Assign) or not isinstance(node.value, ast.Call):
+            continue
+        dotted = dotted_name(node.value.func)
+        if dotted not in _LOCK_CONSTRUCTORS:
+            continue
+        for target in node.targets:
+            if (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+                and target.attr.endswith("lock")
+            ):
+                locks.add(target.attr)
+    return frozenset(locks)
+
+
+def _self_attr_writes(node: ast.stmt) -> Iterator[tuple[ast.stmt, str]]:
+    """(statement, attribute) for each ``self.<attr>`` write in a statement."""
+    targets: list[ast.expr] = []
+    if isinstance(node, ast.Assign):
+        targets = list(node.targets)
+    elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+        if node.target is not None:
+            targets = [node.target]
+    flat: list[ast.expr] = []
+    for target in targets:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            flat.extend(target.elts)
+        else:
+            flat.append(target)
+    for target in flat:
+        if (
+            isinstance(target, ast.Attribute)
+            and isinstance(target.value, ast.Name)
+            and target.value.id == "self"
+        ):
+            yield node, target.attr
+
+
+def _holds_lock(module: ModuleSource, node: ast.AST, locks: frozenset[str]) -> bool:
+    """True when ``node`` sits inside ``with self.<one of locks>``."""
+    parents = module.parents
+    current = parents.get(node)
+    while current is not None:
+        if isinstance(current, (ast.With, ast.AsyncWith)):
+            for item in current.items:
+                expr = item.context_expr
+                if (
+                    isinstance(expr, ast.Attribute)
+                    and isinstance(expr.value, ast.Name)
+                    and expr.value.id == "self"
+                    and expr.attr in locks
+                ):
+                    return True
+        if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # Stop at the enclosing method: a lock held by a *caller* is
+            # not visible lexically and must be waived explicitly.
+            return False
+        current = parents.get(current)
+    return False
+
+
+@register
+class UnlockedWriteRule(Rule):
+    code = "LOCK001"
+    name = "hold-declared-lock"
+    summary = "attribute writes in lock-declaring classes must hold the lock"
+    scope = LOCK_SCOPE
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        for cls in ast.walk(module.tree):
+            if not isinstance(cls, ast.ClassDef):
+                continue
+            locks = _lock_attrs(cls)
+            if not locks:
+                continue
+            for method in cls.body:
+                if not isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                if method.name == "__init__":
+                    continue  # construction happens-before sharing
+                for stmt in ast.walk(method):
+                    if not isinstance(stmt, ast.stmt):
+                        continue
+                    for write, attr in _self_attr_writes(stmt):
+                        if attr in locks:
+                            continue  # rebinding the lock itself: not ours
+                        if _holds_lock(module, write, locks):
+                            continue
+                        lock_list = ", ".join(f"self.{name}" for name in sorted(locks))
+                        yield Finding(
+                            path=module.relpath,
+                            line=write.lineno,
+                            rule=self.code,
+                            message=(
+                                f"{cls.name}.{method.name} writes "
+                                f"self.{attr} without holding {lock_list}; "
+                                f"wrap the write in `with {lock_list.split(', ')[0]}:` "
+                                f"or waive with a reason"
+                            ),
+                        )

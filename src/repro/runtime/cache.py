@@ -434,7 +434,7 @@ class PersistentLayerCache:
         total = 0
         for tier in (self.layers_dir, self.networks_dir):
             if tier.is_dir():
-                total += sum(1 for _ in tier.glob("*/*.json"))
+                total += sum(1 for _ in sorted(tier.glob("*/*.json")))
         return total
 
     def clear(self) -> int:
@@ -443,7 +443,7 @@ class PersistentLayerCache:
         for tier in (self.layers_dir, self.networks_dir):
             if not tier.is_dir():
                 continue
-            for entry in tier.glob("*/*.json"):
+            for entry in sorted(tier.glob("*/*.json")):
                 try:
                     entry.unlink()
                     removed += 1

@@ -105,6 +105,8 @@ VERB_BAD_INPUTS = [
     # immediately and the server never starts serving.
     ("serve", ["serve", "--host", "203.0.113.7", "--port", "0"],
      "io-error", "bind"),
+    ("lint", ["lint", "--rule", "NOPE999"],
+     "invalid-request", "unknown lint rule"),
 ]
 
 

@@ -21,6 +21,13 @@ turns those measurements into a *committed trajectory* and a CI gate:
 * ``check CURRENT BASELINE`` compares two already-written report/snapshot
   files without executing anything (what the unit tests and docs drive).
 
+A bitwise-identical hot-path rewrite refreshes *two* gates in one
+change: the perf snapshot here, and the lint key manifest
+(``repro lint refresh-manifest``) -- the rewrite drifts the
+AST-normalized hash of the simulation module set without a
+``SIMULATION_KEY_VERSION`` bump, which is exactly what the ``KEY001``
+lint rule exists to catch (see ``docs/lint.md``).
+
 Run from the repo root::
 
     python tools/bench_gate.py snapshot --label my-change --repeats 3
